@@ -1,0 +1,19 @@
+"""A1 — eager push vs lazy TTL pull: consistency against traffic."""
+
+from conftest import save_result
+
+from repro.experiments.ablations import (format_consistency,
+                                         run_consistency_ablation)
+
+
+def test_a1_push_vs_pull(benchmark):
+    result = benchmark.pedantic(run_consistency_ablation,
+                                rounds=1, iterations=1)
+    save_result("A1_push_vs_pull", format_consistency(result))
+    push, pull = result["rows"]
+    # Push keeps replicas perfectly fresh; pull trades staleness for
+    # demand-driven traffic.
+    assert push["stale"] == 0
+    assert pull["stale"] > 0
+    benchmark.extra_info["pull_stale"] = pull["stale"]
+    benchmark.extra_info["push_wan_kib"] = push["wan_bytes"] / 1024

@@ -1,0 +1,19 @@
+"""A2 / §3.5 — mobile objects: contact address at leaf vs intermediate."""
+
+from conftest import save_result
+
+from repro.experiments.ablations import (format_mobility,
+                                         run_mobility_ablation)
+
+
+def test_a2_gls_mobile_objects(benchmark):
+    result = benchmark.pedantic(run_mobility_ablation,
+                                rounds=1, iterations=1)
+    save_result("A2_gls_mobile_objects", format_mobility(result))
+    leaf, country = result["rows"]
+    # Storing the address at the country node makes each move cheaper
+    # and shortens the pointer chase (§3.5's mobile-object argument).
+    assert country["update"].mean < leaf["update"].mean
+    assert country["hops"].mean <= leaf["hops"].mean
+    benchmark.extra_info["leaf_move_ms"] = leaf["update"].mean * 1e3
+    benchmark.extra_info["country_move_ms"] = country["update"].mean * 1e3

@@ -1,0 +1,19 @@
+"""A3 / §6.3 — the GLS over UDP (the paper) vs TCP (the open question)."""
+
+from conftest import save_result
+
+from repro.experiments.ablations import (format_transport,
+                                         run_transport_ablation)
+
+
+def test_a3_gls_udp_vs_tcp(benchmark):
+    result = benchmark.pedantic(run_transport_ablation,
+                                rounds=1, iterations=1)
+    save_result("A3_gls_udp_vs_tcp", format_transport(result))
+    udp, tcp = result["rows"]
+    # The paper chose UDP "for efficiency reasons"; TCP pays a
+    # handshake per directory-node hop.
+    assert tcp["latency"].mean > 1.5 * udp["latency"].mean
+    assert tcp["bytes"] > udp["bytes"]
+    benchmark.extra_info["udp_ms"] = udp["latency"].mean * 1e3
+    benchmark.extra_info["tcp_ms"] = tcp["latency"].mean * 1e3

@@ -1,0 +1,21 @@
+"""E10 (extension) — server saturation vs per-region replication."""
+
+from conftest import save_result
+
+from repro.experiments.e10_load_scaling import (assert_shape, format_result,
+                                                run_load_scaling_experiment)
+
+
+def test_e10_load_scaling(benchmark):
+    result = benchmark.pedantic(run_load_scaling_experiment,
+                                rounds=1, iterations=1)
+    save_result("E10_ext_load_scaling", format_result(result))
+    assert_shape(result)
+    single_worst = [row for row in result["rows"]
+                    if not row["replicate"]][-1]
+    replicated_worst = [row for row in result["rows"]
+                        if row["replicate"]][-1]
+    benchmark.extra_info["single_mean_ms"] = \
+        single_worst["latency"].mean * 1e3
+    benchmark.extra_info["replicated_mean_ms"] = \
+        replicated_worst["latency"].mean * 1e3

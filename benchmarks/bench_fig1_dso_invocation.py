@@ -1,0 +1,22 @@
+"""E1 / Figure 1 — invocation cost through the subobject stack."""
+
+from conftest import save_result
+
+from repro.experiments.e1_dso_invocation import (
+    format_result, run_dso_invocation_experiment)
+
+
+def test_e1_dso_invocation(benchmark):
+    result = benchmark.pedantic(run_dso_invocation_experiment,
+                                rounds=1, iterations=1)
+    save_result("E1_fig1_dso_invocation", format_result(result))
+    rows = {row["representative"]: row for row in result["rows"]}
+    local = rows["cache role (fresh copy)"]
+    same_site = rows["client role, same site"]
+    world = rows["client role, cross world"]
+    # Local execution through the stack is free in simulated time;
+    # remote costs are dominated by network separation.
+    assert local["read_small"] == 0.0
+    assert same_site["read_small"] > 0.0
+    assert world["read_small"] > 100 * same_site["read_small"]
+    benchmark.extra_info["cross_world_ms"] = world["read_small"] * 1e3

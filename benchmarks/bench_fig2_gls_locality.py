@@ -1,0 +1,18 @@
+"""E2 / Figure 2 — GLS lookup cost proportional to distance."""
+
+from conftest import save_result
+
+from repro.experiments.e2_gls_locality import (assert_proportionality,
+                                               format_result,
+                                               run_gls_locality_experiment)
+
+
+def test_e2_gls_locality(benchmark):
+    result = benchmark.pedantic(run_gls_locality_experiment,
+                                rounds=1, iterations=1)
+    save_result("E2_fig2_gls_locality", format_result(result))
+    assert_proportionality(result)
+    rows = result["rows"]
+    benchmark.extra_info["site_hops"] = rows[0]["hops"]
+    benchmark.extra_info["world_hops"] = rows[-1]["hops"]
+    benchmark.extra_info["world_latency_ms"] = rows[-1]["latency"] * 1e3

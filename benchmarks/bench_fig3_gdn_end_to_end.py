@@ -1,0 +1,20 @@
+"""E3 / Figure 3 — GDN vs single-origin WWW vs FTP mirroring."""
+
+from conftest import save_result
+
+from repro.experiments.e3_end_to_end import (format_result,
+                                             run_end_to_end_experiment)
+
+
+def test_e3_gdn_end_to_end(benchmark):
+    result = benchmark.pedantic(run_end_to_end_experiment,
+                                rounds=1, iterations=1)
+    save_result("E3_fig3_end_to_end", format_result(result))
+    www, mirror, gdn = result["rows"]
+    # The paper's positioning: the GDN beats the single-origin Web on
+    # user latency by serving from nearby replicas...
+    assert gdn["latency"].mean < 0.7 * www["latency"].mean
+    # ...and beats indiscriminate mirroring on distribution traffic.
+    assert gdn["setup_wan"] <= mirror["setup_wan"]
+    benchmark.extra_info["www_mean_ms"] = www["latency"].mean * 1e3
+    benchmark.extra_info["gdn_mean_ms"] = gdn["latency"].mean * 1e3

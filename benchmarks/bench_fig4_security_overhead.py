@@ -1,0 +1,20 @@
+"""E4 / Figure 4 — the cost of TLS channel configurations."""
+
+from conftest import save_result
+
+from repro.experiments.e4_security import (assert_shape, format_result,
+                                           run_security_overhead_experiment)
+
+
+def test_e4_security_overhead(benchmark):
+    result = benchmark.pedantic(run_security_overhead_experiment,
+                                rounds=1, iterations=1)
+    save_result("E4_fig4_security_overhead", format_result(result))
+    assert_shape(result)
+    plain, one_way, two_way, integrity = result["rows"]
+    benchmark.extra_info["tls_handshake_overhead_ms"] = \
+        (two_way["handshake"] - plain["handshake"]) * 1e3
+    benchmark.extra_info["encryption_bulk_overhead_pct"] = \
+        two_way["large_overhead"]
+    benchmark.extra_info["integrity_only_bulk_overhead_pct"] = \
+        integrity["large_overhead"]

@@ -1,0 +1,75 @@
+"""Wall-clock micro-benchmarks of the reproduction's hot primitives.
+
+Unlike the experiment benches (which time one full simulated run),
+these use pytest-benchmark conventionally — many rounds over the pure
+in-process building blocks: the opaque-invocation codec, OID hashing,
+the event loop, and the RSA used by the TLS layer.
+"""
+
+import random
+
+from repro.core.ids import ObjectId
+from repro.core.marshal import marshal_invocation, pack, unpack
+from repro.security.crypto import RsaKeyPair
+from repro.sim.kernel import Simulator
+from repro.workloads.packages import synthetic_file
+
+_INVOCATION_ARGS = {"path": "bin/gimp", "offset": 0,
+                    "meta": {"version": 3, "tags": ["a", "b"]}}
+_STATE = {"files": {"f%02d" % i: synthetic_file("bench", 2048)
+                    for i in range(32)},
+          "attributes": {"category": "graphics"}, "version": 7}
+
+
+def test_marshal_invocation(benchmark):
+    payload = benchmark(marshal_invocation, "getFileContents",
+                        _INVOCATION_ARGS)
+    assert isinstance(payload, bytes)
+
+
+def test_pack_package_state(benchmark):
+    data = benchmark(pack, _STATE)
+    assert len(data) > 32 * 2048
+
+
+def test_unpack_package_state(benchmark):
+    data = pack(_STATE)
+    state = benchmark(unpack, data)
+    assert state["version"] == 7
+
+
+def test_oid_shard(benchmark):
+    oid = ObjectId.from_seed("bench-object")
+    shard = benchmark(oid.shard, 16)
+    assert 0 <= shard < 16
+
+
+def test_event_loop_throughput(benchmark):
+    """Events processed per benchmark round: 10k chained timeouts."""
+
+    def run_chain():
+        sim = Simulator()
+
+        def chain():
+            for _ in range(10_000):
+                yield sim.timeout(0.001)
+
+        sim.process(chain())
+        sim.run()
+        return sim.events_processed
+
+    events = benchmark(run_chain)
+    assert events >= 10_000
+
+
+def test_rsa_sign(benchmark):
+    keypair = RsaKeyPair.generate(random.Random(1), bits=512)
+    signature = benchmark(keypair.sign, b"package digest")
+    assert keypair.public.verify(b"package digest", signature)
+
+
+def test_rsa_verify(benchmark):
+    keypair = RsaKeyPair.generate(random.Random(2), bits=512)
+    signature = keypair.sign(b"package digest")
+    ok = benchmark(keypair.public.verify, b"package digest", signature)
+    assert ok

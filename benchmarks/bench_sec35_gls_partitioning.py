@@ -1,0 +1,16 @@
+"""E6 / §3.5 — partitioning directory nodes into hashed subnodes."""
+
+from conftest import save_result
+
+from repro.experiments.e6_partitioning import (assert_shape, format_result,
+                                               run_partitioning_experiment)
+
+
+def test_e6_gls_partitioning(benchmark):
+    result = benchmark.pedantic(run_partitioning_experiment,
+                                rounds=1, iterations=1)
+    save_result("E6_sec35_gls_partitioning", format_result(result))
+    assert_shape(result)
+    rows = result["rows"]
+    benchmark.extra_info["root_load_k1"] = rows[0]["root_load_max"]
+    benchmark.extra_info["root_load_k8"] = rows[-1]["root_load_max"]

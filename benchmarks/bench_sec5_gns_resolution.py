@@ -1,0 +1,17 @@
+"""E7 / §5 — the DNS-based Globe Name Service."""
+
+from conftest import save_result
+
+from repro.experiments.e7_gns_resolution import (assert_shape, format_result,
+                                                 run_gns_resolution_experiment)
+
+
+def test_e7_gns_resolution(benchmark):
+    result = benchmark.pedantic(run_gns_resolution_experiment,
+                                rounds=1, iterations=1)
+    save_result("E7_sec5_gns_resolution", format_result(result))
+    assert_shape(result)
+    benchmark.extra_info["cold_ms"] = result["cold"].mean * 1e3
+    benchmark.extra_info["warm_ms"] = result["warm"].mean * 1e3
+    benchmark.extra_info["batched_updates"] = \
+        result["batching"][-1]["updates"]

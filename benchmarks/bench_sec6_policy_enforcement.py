@@ -1,0 +1,15 @@
+"""E9 / §6.1 — authorization enforcement across the attack surface."""
+
+from conftest import save_result
+
+from repro.experiments.e9_policy import (assert_shape, format_result,
+                                         run_policy_experiment)
+
+
+def test_e9_policy_enforcement(benchmark):
+    result = benchmark.pedantic(run_policy_experiment,
+                                rounds=1, iterations=1)
+    save_result("E9_sec6_policy_enforcement", format_result(result))
+    assert_shape(result)
+    refused = [row for row in result["rows"] if row["outcome"] == "refused"]
+    benchmark.extra_info["attacks_refused"] = len(refused)

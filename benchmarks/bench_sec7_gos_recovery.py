@@ -1,0 +1,15 @@
+"""E8 / §4 — object-server crash, persistence, reboot reconstruction."""
+
+from conftest import save_result
+
+from repro.experiments.e8_recovery import (assert_shape, format_result,
+                                           run_recovery_experiment)
+
+
+def test_e8_gos_recovery(benchmark):
+    result = benchmark.pedantic(run_recovery_experiment,
+                                rounds=1, iterations=1)
+    save_result("E8_sec7_gos_recovery", format_result(result))
+    assert_shape(result)
+    benchmark.extra_info["healthy_mean_ms"] = result["before"].mean * 1e3
+    benchmark.extra_info["recovered_mean_ms"] = result["after"].mean * 1e3

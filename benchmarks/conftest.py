@@ -1,0 +1,19 @@
+"""Benchmark-suite configuration.
+
+Each benchmark runs one experiment driver (a full simulated deployment
++ workload) exactly once under pytest-benchmark timing, prints the
+table the corresponding paper figure implies, and persists it under
+``benchmarks/results/`` so the artifacts survive output capturing.
+"""
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a formatted experiment table (and echo it)."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
+    print()
+    print(text)

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Per-object replication scenarios vs one-size-fits-all (paper §3.1).
+
+Reproduces the study that motivates the whole GDN design: a synthetic
+departmental web site (Zipf popularity, heterogeneous update rates,
+regionally skewed readership) is published into the GDN four times —
+with no replication, with uniform TTL caching, with a replica of
+everything everywhere, and with per-document scenarios chosen by the
+ScenarioAdvisor from each document's own usage pattern.
+
+Expected outcome (the paper's claim): the adaptive assignment generates
+the least wide-area traffic while improving user response time over the
+single-scenario baselines.
+
+Run:  python examples/adaptive_replication.py
+"""
+
+from repro.experiments.e5_adaptive import (format_result,
+                                           run_adaptive_replication_experiment)
+
+
+def main():
+    print("== Per-object replication scenarios (Pierre et al. study) ==")
+    print("building four GDN deployments and replaying the trace; this")
+    print("takes a few seconds...\n")
+    result = run_adaptive_replication_experiment(
+        seed=9, document_count=30, request_count=700)
+    print(format_result(result))
+    rows = {row["strategy"]: row for row in result["rows"]}
+    adaptive = rows["Adaptive"]
+    print("\nconclusion: Adaptive used %.1f%% of NoRepl's WAN traffic"
+          % (100.0 * adaptive["wan_bytes"] / rows["NoRepl"]["wan_bytes"]))
+    print("            with %.0fx faster mean reads than NoRepl"
+          % (rows["NoRepl"]["latency"].mean / adaptive["latency"].mean))
+    print("            and %d replicas vs ReplAll's %d"
+          % (adaptive["replicas"], rows["ReplAll"]["replicas"]))
+
+
+if __name__ == "__main__":
+    main()

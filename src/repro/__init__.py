@@ -1,0 +1,21 @@
+"""Reproduction of "The Globe Distribution Network" (USENIX 2000).
+
+Subpackages:
+
+* :mod:`repro.sim` — discrete-event wide-area network substrate;
+* :mod:`repro.core` — the Globe object model (DSOs, subobjects,
+  replication protocols, binding);
+* :mod:`repro.gls` — the Globe Location Service;
+* :mod:`repro.gns` — DNS substrate + the Globe Name Service;
+* :mod:`repro.security` — crypto, certificates, TLS channels, roles;
+* :mod:`repro.gos` — Globe Object Servers;
+* :mod:`repro.gdn` — the GDN application (packages, moderator tools,
+  HTTPDs, proxies, browsers, whole-network deployments);
+* :mod:`repro.baselines` — single-server WWW, FTP mirroring, uniform
+  replication scenarios;
+* :mod:`repro.workloads` — Zipf popularity, package corpora, client
+  populations, the synthetic departmental web trace;
+* :mod:`repro.analysis` — metrics and table rendering.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,7 @@
+"""Measurement and reporting helpers for experiments."""
+
+from .metrics import Series, TrafficDelta, percentile
+from .tables import Table, format_bytes, format_seconds
+
+__all__ = ["Series", "TrafficDelta", "percentile", "Table",
+           "format_bytes", "format_seconds"]

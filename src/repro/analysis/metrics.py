@@ -1,0 +1,104 @@
+"""Measurement helpers shared by experiments and benchmarks."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional
+
+from ..sim.network import TrafficMeter
+from ..sim.topology import Level
+
+__all__ = ["Series", "TrafficDelta", "percentile"]
+
+
+def percentile(values: Iterable[float], p: float) -> float:
+    """The p-th percentile (0..100) with linear interpolation."""
+    data = sorted(values)
+    if not data:
+        raise ValueError("no samples")
+    if not 0 <= p <= 100:
+        raise ValueError("percentile out of range")
+    if len(data) == 1:
+        return data[0]
+    rank = (p / 100.0) * (len(data) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return data[low]
+    fraction = rank - low
+    value = data[low] * (1 - fraction) + data[high] * fraction
+    # Clamp: interpolation may drift past the extremes by one ULP.
+    return min(max(value, data[0]), data[-1])
+
+
+class Series:
+    """A named sample collection with summary statistics."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        self.samples.extend(values)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            raise ValueError("no samples in %r" % self.name)
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    def p(self, q: float) -> float:
+        return percentile(self.samples, q)
+
+    @property
+    def median(self) -> float:
+        return self.p(50)
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples)
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": self.count, "mean": self.mean,
+                "median": self.median, "p95": self.p(95),
+                "max": self.maximum}
+
+
+class TrafficDelta:
+    """Traffic accounted between two points in simulated time."""
+
+    def __init__(self, meter: TrafficMeter):
+        self.meter = meter
+        self._start_bytes: Dict[Level, int] = {}
+        self._start_messages: Dict[Level, int] = {}
+        self.restart()
+
+    def restart(self) -> None:
+        self._start_bytes = dict(self.meter.bytes_by_level)
+        self._start_messages = dict(self.meter.messages_by_level)
+
+    def bytes_by_level(self) -> Dict[Level, int]:
+        return {level: self.meter.bytes_by_level[level]
+                - self._start_bytes[level] for level in Level}
+
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_level().values())
+
+    def wide_area_bytes(self, min_level: Level = Level.REGION) -> int:
+        return sum(count for level, count in self.bytes_by_level().items()
+                   if level >= min_level)
+
+    def messages(self) -> int:
+        return sum(self.meter.messages_by_level[level]
+                   - self._start_messages[level] for level in Level)

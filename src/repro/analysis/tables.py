@@ -1,0 +1,69 @@
+"""Plain-text table/series rendering for experiment output.
+
+Benchmarks print the rows and series the paper's figures imply; these
+helpers keep that output aligned and consistent.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+__all__ = ["Table", "format_bytes", "format_seconds"]
+
+
+def format_bytes(count: float) -> str:
+    """Human-readable byte count (binary units)."""
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if abs(value) < 1024.0 or unit == "GiB":
+            if unit == "B":
+                return "%d %s" % (int(value), unit)
+            return "%.1f %s" % (value, unit)
+        value /= 1024.0
+    raise AssertionError("unreachable")
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable duration."""
+    if seconds < 1e-3:
+        return "%.0f µs" % (seconds * 1e6)
+    if seconds < 1.0:
+        return "%.1f ms" % (seconds * 1e3)
+    return "%.2f s" % seconds
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, headers: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError("expected %d cells, got %d"
+                             % (len(self.headers), len(cells)))
+        self.rows.append([str(cell) for cell in cells])
+
+    def render(self) -> str:
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells):
+            return "  ".join(cell.ljust(width)
+                             for cell, width in zip(cells, widths)).rstrip()
+
+        parts = []
+        if self.title:
+            parts.append(self.title)
+        parts.append(line(self.headers))
+        parts.append(line(["-" * width for width in widths]))
+        for row in self.rows:
+            parts.append(line(row))
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

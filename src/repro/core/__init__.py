@@ -1,0 +1,32 @@
+"""Globe object model: DSOs, subobjects, binding, replication.
+
+This package is the paper's primary contribution (§3): distributed
+shared objects composed of semantics / communication / replication /
+control subobjects, with per-object replication scenarios, bound
+through the location service and loaded from implementation
+repositories.
+"""
+
+from . import replication  # noqa: F401 - registers built-in protocols
+from .idl import Interface, Mode, mutating, read_only
+from .ids import ContactAddress, IdError, ObjectId
+from .local_repr import LocalRepresentative
+from .marshal import (MarshalError, marshal_invocation, marshal_result,
+                      pack, unmarshal_invocation, unmarshal_result, unpack)
+from .repository import (Implementation, ImplementationRepository,
+                         RepositoryError)
+from .runtime import BindError, Runtime
+from .subobjects import (CommunicationSubobject, ControlSubobject,
+                         RemoteInvocationError, SemanticsSubobject)
+
+__all__ = [
+    "Interface", "Mode", "mutating", "read_only",
+    "ContactAddress", "IdError", "ObjectId",
+    "LocalRepresentative",
+    "MarshalError", "marshal_invocation", "marshal_result", "pack",
+    "unmarshal_invocation", "unmarshal_result", "unpack",
+    "Implementation", "ImplementationRepository", "RepositoryError",
+    "BindError", "Runtime",
+    "CommunicationSubobject", "ControlSubobject", "RemoteInvocationError",
+    "SemanticsSubobject", "replication",
+]

@@ -1,0 +1,97 @@
+"""Interface definitions for semantics subobjects (paper §7).
+
+Globe defines DSO interfaces in an IDL and generates language bindings.
+We reproduce the part the replication machinery needs: each method of a
+semantics subobject is declared read-only or mutating, because the
+replication subobject — which never sees method names, only opaque
+messages plus this one bit — routes reads and writes differently
+(reads can execute at any replica, writes must reach the master).
+
+Usage::
+
+    class Counter(SemanticsSubobject):
+        @mutating
+        def increment(self, by=1): ...
+
+        @read_only
+        def value(self): ...
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Dict
+
+__all__ = ["Mode", "MethodSpec", "Interface", "read_only", "mutating",
+           "IdlError"]
+
+
+class IdlError(Exception):
+    """Raised for interface violations (unknown/undeclared methods)."""
+
+
+class Mode(enum.Enum):
+    """Whether a method only reads state or may modify it."""
+
+    READ = "read"
+    WRITE = "write"
+
+
+class MethodSpec:
+    """Metadata for one declared DSO method."""
+
+    __slots__ = ("name", "mode")
+
+    def __init__(self, name: str, mode: Mode):
+        self.name = name
+        self.mode = mode
+
+    def __repr__(self) -> str:
+        return "MethodSpec(%s, %s)" % (self.name, self.mode.value)
+
+
+def read_only(func: Callable) -> Callable:
+    """Declare a semantics method as state-preserving."""
+    func._dso_mode = Mode.READ
+    return func
+
+
+def mutating(func: Callable) -> Callable:
+    """Declare a semantics method as state-modifying."""
+    func._dso_mode = Mode.WRITE
+    return func
+
+
+class Interface:
+    """The set of declared methods of a semantics class."""
+
+    def __init__(self, name: str, methods: Dict[str, MethodSpec]):
+        self.name = name
+        self.methods = methods
+
+    @classmethod
+    def of(cls, semantics_class: type) -> "Interface":
+        """Collect declared methods from a semantics class."""
+        methods: Dict[str, MethodSpec] = {}
+        for attr_name in dir(semantics_class):
+            attr = getattr(semantics_class, attr_name, None)
+            mode = getattr(attr, "_dso_mode", None)
+            if mode is not None:
+                methods[attr_name] = MethodSpec(attr_name, mode)
+        return cls(semantics_class.__name__, methods)
+
+    def spec(self, method: str) -> MethodSpec:
+        try:
+            return self.methods[method]
+        except KeyError:
+            raise IdlError("method %r is not declared on interface %s"
+                           % (method, self.name)) from None
+
+    def mode(self, method: str) -> Mode:
+        return self.spec(method).mode
+
+    def __contains__(self, method: str) -> bool:
+        return method in self.methods
+
+    def __repr__(self) -> str:
+        return "Interface(%s, %d methods)" % (self.name, len(self.methods))

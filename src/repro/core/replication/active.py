@@ -1,0 +1,224 @@
+"""Active replication (paper §3.3: "one object may actively replicate
+all the state at all the local representatives").
+
+Every replica executes every write.  A sequencer (the ``master`` role)
+imposes a total order on writes: it executes each write itself and
+multicasts the *operation* — not the resulting state — to all replicas,
+tagged with a sequence number.  Replicas apply operations strictly in
+sequence order, buffering out-of-order arrivals in a hold-back queue.
+
+Compared with master/slave state pushing, active replication trades
+per-write computation at every replica for much smaller update traffic
+when state is large and operations are small — one of the trade-offs a
+per-object replication scenario can exploit (§3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..idl import Mode
+from ..ids import ContactAddress
+from .base import (ReplicationError, ReplicationSubobject,
+                   register_protocol)
+
+__all__ = ["ActiveClient", "ActiveSequencer", "ActiveReplica"]
+
+PROTOCOL = "active"
+
+
+class ActiveClient(ReplicationSubobject):
+    """Reads to the nearest replica, writes to the sequencer."""
+
+    protocol = PROTOCOL
+    role = "client"
+
+    def __init__(self, addresses: List[ContactAddress]):
+        super().__init__()
+        if not addresses:
+            raise ReplicationError("no contact addresses to bind to")
+        self.bound = addresses[0]
+        self.sequencer: Optional[ContactAddress] = self.find_role(
+            addresses, "master")
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        if mode == Mode.READ:
+            self.reads_remote += 1
+            result = yield from self._invoke_remote(self.bound, payload, mode)
+        else:
+            self.writes_forwarded += 1
+            target = self.sequencer or self.bound
+            result = yield from self._invoke_remote(target, payload, mode)
+        return result
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        return {"type": "error", "reason": "pure client holds no state"}
+        yield  # pragma: no cover
+
+
+class ActiveSequencer(ReplicationSubobject):
+    """Orders writes, executes them, multicasts operations."""
+
+    protocol = PROTOCOL
+    role = "master"
+
+    def __init__(self):
+        super().__init__()
+        self.seq = 0
+        self.replicas: Dict[tuple, ContactAddress] = {}
+        self.push_failures = 0
+
+    def protocol_state(self) -> dict:
+        return {"seq": self.seq,
+                "replicas": [address.to_wire()
+                             for address in self.replicas.values()]}
+
+    def restore_protocol_state(self, state: dict) -> None:
+        self.seq = state.get("seq", 0)
+        for wire in state.get("replicas", []):
+            address = ContactAddress.from_wire(wire)
+            self.replicas[address.key()] = address
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        if mode == Mode.READ:
+            self.reads_local += 1
+            return self.control.execute(payload)
+        return self._apply_write(payload)
+        yield  # pragma: no cover - _apply_write spawns asynchronously
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        kind = message.get("type")
+        if kind == "invoke":
+            mode = Mode(message.get("mode", "write"))
+            if mode == Mode.READ:
+                self.reads_local += 1
+                return {"type": "result",
+                        "payload": self.control.execute(message["payload"])}
+            return {"type": "result",
+                    "payload": self._apply_write(message["payload"])}
+        if kind == "join":
+            address = ContactAddress.from_wire(message["ca"])
+            self.replicas[address.key()] = address
+            return {"type": "state", "version": self.seq,
+                    "state": self._snapshot()}
+        if kind == "leave":
+            address = ContactAddress.from_wire(message["ca"])
+            self.replicas.pop(address.key(), None)
+            return {"type": "ack"}
+        if kind == "pull":
+            if message.get("have_version", -1) >= self.seq:
+                return {"type": "fresh", "version": self.seq}
+            return {"type": "state", "version": self.seq,
+                    "state": self._snapshot()}
+        return {"type": "error", "reason": "unsupported message %r" % kind}
+        yield  # pragma: no cover
+
+    def _apply_write(self, payload: bytes) -> bytes:
+        self.writes_local += 1
+        self.seq += 1
+        seq = self.seq
+        result = self.control.execute(payload)
+        for address in list(self.replicas.values()):
+            self.lr.host.spawn(self._push_op(address, seq, payload))
+        return result
+
+    def _push_op(self, address: ContactAddress, seq: int,
+                 payload: bytes) -> Generator:
+        try:
+            yield from self._send(address, {"type": "op_push", "seq": seq,
+                                            "payload": payload})
+        except Exception:  # noqa: BLE001 - replica may be down; it rejoins
+            self.push_failures += 1
+
+
+class ActiveReplica(ReplicationSubobject):
+    """Executes the totally ordered write stream locally."""
+
+    protocol = PROTOCOL
+    role = "replica"
+
+    def __init__(self, sequencer: ContactAddress):
+        super().__init__()
+        self.sequencer = sequencer
+        self.applied_seq = -1
+        self.holdback: Dict[int, bytes] = {}
+
+    def start(self) -> Generator:
+        my_address = self.lr.contact_address
+        if my_address is None:
+            raise ReplicationError(
+                "replica has no registered contact address")
+        reply = yield from self._send(self.sequencer, {
+            "type": "join", "ca": my_address.to_wire()})
+        if reply.get("type") != "state":
+            raise ReplicationError("join did not return state")
+        self._restore(reply["state"])
+        self.applied_seq = reply["version"]
+        self.holdback = {seq: op for seq, op in self.holdback.items()
+                         if seq > self.applied_seq}
+        self._drain_holdback()
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        if mode == Mode.READ:
+            self.reads_local += 1
+            return self.control.execute(payload)
+        self.writes_forwarded += 1
+        result = yield from self._invoke_remote(self.sequencer, payload, mode)
+        return result
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        kind = message.get("type")
+        if kind == "invoke":
+            mode = Mode(message.get("mode", "write"))
+            if mode == Mode.READ:
+                self.reads_local += 1
+                return {"type": "result",
+                        "payload": self.control.execute(message["payload"])}
+            self.writes_forwarded += 1
+            payload = yield from self._invoke_remote(
+                self.sequencer, message["payload"], mode)
+            return {"type": "result", "payload": payload}
+        if kind == "op_push":
+            seq = message["seq"]
+            if seq > self.applied_seq:
+                self.holdback[seq] = message["payload"]
+                self._drain_holdback()
+            return {"type": "ack"}
+        if kind == "pull":
+            if message.get("have_version", -1) >= self.applied_seq:
+                return {"type": "fresh", "version": self.applied_seq}
+            return {"type": "state", "version": self.applied_seq,
+                    "state": self._snapshot()}
+        return {"type": "error", "reason": "unsupported message %r" % kind}
+
+    def _drain_holdback(self) -> None:
+        while self.applied_seq + 1 in self.holdback:
+            seq = self.applied_seq + 1
+            payload = self.holdback.pop(seq)
+            self.control.execute(payload)
+            self.applied_seq = seq
+            self.writes_local += 1
+
+
+def _make_client(addresses, **_kwargs):
+    return ActiveClient(addresses)
+
+
+def _make_sequencer(**_kwargs):
+    return ActiveSequencer()
+
+
+def _make_replica(master=None, **_kwargs):
+    if master is None:
+        raise ReplicationError("replica role needs the sequencer's address")
+    return ActiveReplica(master)
+
+
+register_protocol(PROTOCOL, _make_client,
+                  {"master": _make_sequencer, "replica": _make_replica})

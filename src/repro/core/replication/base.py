@@ -1,0 +1,158 @@
+"""Replication subobject framework (paper §3.3).
+
+A replication subobject decides, per opaque invocation, where that
+invocation executes and how replica state stays consistent.  All
+concrete protocols speak a small common message vocabulary between
+local representatives (the paper's "Globe Replication Protocol" arrows
+in Figure 3):
+
+========== ===============================================================
+type       meaning
+========== ===============================================================
+invoke     run this opaque invocation (mode read/write) here or forward it
+result     opaque result message for an ``invoke``
+join       a new replica announces itself; reply carries current state
+leave      a replica is going away
+pull       give me your state if newer than ``have_version``
+state      state transfer (version + packed state)
+fresh      pull response: your copy is already current
+state_push master pushes new state to a slave
+op_push    sequencer pushes an ordered write invocation (active repl.)
+ack        acknowledgement
+========== ===============================================================
+
+Concrete protocols live in sibling modules; each defines client-role
+and replica-role subobject classes and registers itself in
+:data:`PROTOCOLS` so the implementation repository can build both sides
+by name.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..idl import Mode
+from ..ids import ContactAddress
+from ..marshal import pack, unpack
+
+__all__ = ["ReplicationSubobject", "ReplicationError", "PROTOCOLS",
+           "register_protocol", "protocol_names"]
+
+
+class ReplicationError(Exception):
+    """Raised when a replication protocol cannot complete an operation."""
+
+
+#: protocol name -> {"client": factory, "roles": {role: factory}}
+PROTOCOLS: Dict[str, dict] = {}
+
+
+def register_protocol(name: str, client_factory, role_factories: dict) -> None:
+    """Register a replication protocol's client and replica factories."""
+    PROTOCOLS[name] = {"client": client_factory, "roles": role_factories}
+
+
+def protocol_names() -> List[str]:
+    return sorted(PROTOCOLS)
+
+
+class ReplicationSubobject:
+    """Base class with the standard replication interface.
+
+    Lifecycle: constructed by a factory, then ``attach``-ed to its
+    local representative (which supplies control and communication
+    subobjects), then optionally ``start``-ed (a generator — replicas
+    use it to join their master and fetch initial state).
+    """
+
+    protocol = "?"
+    role = "?"
+
+    def __init__(self):
+        self.lr = None
+        self.control = None
+        self.comm = None
+        self.oid = None
+        # Counters read by experiments.
+        self.reads_local = 0
+        self.reads_remote = 0
+        self.writes_local = 0
+        self.writes_forwarded = 0
+        self.state_transfers = 0
+
+    # -- wiring ----------------------------------------------------------
+
+    def attach(self, local_representative) -> None:
+        self.lr = local_representative
+        self.control = local_representative.control
+        self.comm = local_representative.comm
+        self.oid = local_representative.oid
+
+    def start(self) -> Generator:
+        """Protocol start-up (joining, initial state fetch).  A process."""
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    def stop(self) -> None:
+        """Protocol teardown (leave messages are best-effort)."""
+
+    # -- durable protocol state -------------------------------------------
+
+    def protocol_state(self) -> dict:
+        """Protocol bookkeeping worth persisting across a host reboot
+        (version counters, peer lists).  Object servers checkpoint this
+        next to the semantics state; without it a recovered master
+        would forget its slaves and roll its version counter back,
+        leaving slaves ignoring every future push."""
+        return {}
+
+    def restore_protocol_state(self, state: dict) -> None:
+        """Reinstate persisted protocol bookkeeping after a reboot."""
+
+    # -- the standard interface ------------------------------------------
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        """Route a locally issued opaque invocation; return raw result."""
+        raise NotImplementedError
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        """Handle a protocol message from another representative."""
+        raise NotImplementedError
+
+    # -- helpers -----------------------------------------------------------
+
+    def _send(self, address: ContactAddress, message: dict
+              ) -> Generator[Any, Any, dict]:
+        reply = yield from self.comm.send_dso_message(
+            address, self.oid, message)
+        if reply.get("type") == "error":
+            raise ReplicationError(reply.get("reason", "remote error"))
+        return reply
+
+    def _invoke_remote(self, address: ContactAddress, payload: bytes,
+                       mode: Mode) -> Generator[Any, Any, bytes]:
+        reply = yield from self._send(address, {
+            "type": "invoke", "payload": payload, "mode": mode.value})
+        if reply.get("type") != "result":
+            raise ReplicationError(
+                "expected result, got %r" % reply.get("type"))
+        return reply["payload"]
+
+    def _snapshot(self) -> bytes:
+        self.state_transfers += 1
+        return pack(self.control.semantics.replication_state())
+
+    def _restore(self, state_bytes: bytes) -> None:
+        self.state_transfers += 1
+        self.control.semantics.restore_replication_state(
+            unpack(state_bytes))
+
+    @staticmethod
+    def find_role(addresses: List[ContactAddress], role: str
+                  ) -> Optional[ContactAddress]:
+        for address in addresses:
+            if address.role == role:
+                return address
+        return None

@@ -1,0 +1,240 @@
+"""Master/slave replication (paper §7).
+
+One replica is the *master*; any number of *slaves* hold copies.
+Reads execute at whichever replica the client is bound to (normally
+the nearest one, found via the GLS); writes are forwarded to the
+master, which executes them and pushes fresh state to all slaves.
+
+Push is asynchronous by default — the client's write completes when
+the master has executed it, and slaves converge shortly after
+(configure ``sync_push=True`` for write-through behaviour).  Slaves
+joining later, or rejoining after a reboot, fetch state with a `join`
+message, which is also how a Globe Object Server reconstructs replicas
+(§4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional
+
+from ..idl import Mode
+from ..ids import ContactAddress
+from .base import (ReplicationError, ReplicationSubobject,
+                   register_protocol)
+
+__all__ = ["MasterSlaveClient", "MasterSlaveMaster", "MasterSlaveSlave"]
+
+PROTOCOL = "master_slave"
+
+
+class MasterSlaveClient(ReplicationSubobject):
+    """Client proxy: reads to the bound (nearest) replica, writes to
+    the master (directly when its address is known, otherwise via the
+    bound replica, which forwards)."""
+
+    protocol = PROTOCOL
+    role = "client"
+
+    def __init__(self, addresses: List[ContactAddress]):
+        super().__init__()
+        if not addresses:
+            raise ReplicationError("no contact addresses to bind to")
+        self.bound = addresses[0]
+        self.master: Optional[ContactAddress] = self.find_role(
+            addresses, "master")
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        if mode == Mode.READ:
+            self.reads_remote += 1
+            result = yield from self._invoke_remote(self.bound, payload, mode)
+        else:
+            self.writes_forwarded += 1
+            target = self.master or self.bound
+            result = yield from self._invoke_remote(target, payload, mode)
+        return result
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        return {"type": "error", "reason": "pure client holds no state"}
+        yield  # pragma: no cover
+
+
+class MasterSlaveMaster(ReplicationSubobject):
+    """The authoritative replica: applies writes, pushes state."""
+
+    protocol = PROTOCOL
+    role = "master"
+
+    def __init__(self, sync_push: bool = False):
+        super().__init__()
+        self.sync_push = sync_push
+        self.version = 0
+        self.slaves: Dict[tuple, ContactAddress] = {}
+        self.push_failures = 0
+
+    def protocol_state(self) -> dict:
+        return {"version": self.version,
+                "slaves": [address.to_wire()
+                           for address in self.slaves.values()]}
+
+    def restore_protocol_state(self, state: dict) -> None:
+        self.version = state.get("version", 0)
+        for wire in state.get("slaves", []):
+            address = ContactAddress.from_wire(wire)
+            self.slaves[address.key()] = address
+
+    # -- local invocation (co-located callers) -----------------------------
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        if mode == Mode.READ:
+            self.reads_local += 1
+            return self.control.execute(payload)
+        result = yield from self._apply_write(payload)
+        return result
+
+    # -- protocol messages ---------------------------------------------------
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        kind = message.get("type")
+        if kind == "invoke":
+            mode = Mode(message.get("mode", "write"))
+            if mode == Mode.READ:
+                self.reads_local += 1
+                return {"type": "result",
+                        "payload": self.control.execute(message["payload"])}
+            payload = yield from self._apply_write(message["payload"])
+            return {"type": "result", "payload": payload}
+        if kind == "join":
+            address = ContactAddress.from_wire(message["ca"])
+            self.slaves[address.key()] = address
+            return {"type": "state", "version": self.version,
+                    "state": self._snapshot()}
+        if kind == "leave":
+            address = ContactAddress.from_wire(message["ca"])
+            self.slaves.pop(address.key(), None)
+            return {"type": "ack"}
+        if kind == "pull":
+            if message.get("have_version", -1) >= self.version:
+                return {"type": "fresh", "version": self.version}
+            return {"type": "state", "version": self.version,
+                    "state": self._snapshot()}
+        return {"type": "error", "reason": "unsupported message %r" % kind}
+
+    # -- write path -----------------------------------------------------------
+
+    def _apply_write(self, payload: bytes) -> Generator[Any, Any, bytes]:
+        self.writes_local += 1
+        result = self.control.execute(payload)
+        self.version += 1
+        if self.slaves:
+            state = self._snapshot()
+            version = self.version
+            pushes = [self.lr.host.spawn(self._push_one(address, version,
+                                                        state))
+                      for address in list(self.slaves.values())]
+            if self.sync_push:
+                for push in pushes:
+                    yield push
+        return result
+
+    def _push_one(self, address: ContactAddress, version: int,
+                  state: bytes) -> Generator:
+        try:
+            yield from self._send(address, {"type": "state_push",
+                                            "version": version,
+                                            "state": state})
+        except Exception:  # noqa: BLE001 - slave may be down; it rejoins
+            self.push_failures += 1
+
+
+class MasterSlaveSlave(ReplicationSubobject):
+    """A read-serving copy that forwards writes to the master."""
+
+    protocol = PROTOCOL
+    role = "slave"
+
+    def __init__(self, master: ContactAddress):
+        super().__init__()
+        self.master = master
+        self.version = -1
+
+    def start(self) -> Generator:
+        """Join the master and fetch initial state."""
+        my_address = self.lr.contact_address
+        if my_address is None:
+            raise ReplicationError("slave has no registered contact address")
+        reply = yield from self._send(self.master, {
+            "type": "join", "ca": my_address.to_wire()})
+        if reply.get("type") != "state":
+            raise ReplicationError("join did not return state")
+        self._restore(reply["state"])
+        self.version = reply["version"]
+
+    def stop(self) -> None:
+        # Leaving is best-effort and asynchronous; the master also
+        # drops us on the first failed push.
+        my_address = self.lr.contact_address
+        if my_address is not None and self.lr.host.up:
+            self.lr.host.spawn(self._send_leave(my_address))
+
+    def _send_leave(self, my_address: ContactAddress) -> Generator:
+        try:
+            yield from self._send(self.master, {
+                "type": "leave", "ca": my_address.to_wire()})
+        except Exception:  # noqa: BLE001 - best effort
+            pass
+
+    def invoke(self, payload: bytes, mode: Mode
+               ) -> Generator[Any, Any, bytes]:
+        if mode == Mode.READ:
+            self.reads_local += 1
+            return self.control.execute(payload)
+        self.writes_forwarded += 1
+        result = yield from self._invoke_remote(self.master, payload, mode)
+        return result
+
+    def handle_message(self, message: dict, ctx
+                       ) -> Generator[Any, Any, dict]:
+        kind = message.get("type")
+        if kind == "invoke":
+            mode = Mode(message.get("mode", "write"))
+            if mode == Mode.READ:
+                self.reads_local += 1
+                return {"type": "result",
+                        "payload": self.control.execute(message["payload"])}
+            self.writes_forwarded += 1
+            payload = yield from self._invoke_remote(
+                self.master, message["payload"], mode)
+            return {"type": "result", "payload": payload}
+        if kind == "state_push":
+            if message["version"] > self.version:
+                self._restore(message["state"])
+                self.version = message["version"]
+            return {"type": "ack"}
+        if kind == "pull":
+            if message.get("have_version", -1) >= self.version:
+                return {"type": "fresh", "version": self.version}
+            return {"type": "state", "version": self.version,
+                    "state": self._snapshot()}
+        return {"type": "error", "reason": "unsupported message %r" % kind}
+
+
+def _make_client(addresses, **_kwargs):
+    return MasterSlaveClient(addresses)
+
+
+def _make_master(sync_push=False, **_kwargs):
+    return MasterSlaveMaster(sync_push=sync_push)
+
+
+def _make_slave(master=None, **_kwargs):
+    if master is None:
+        raise ReplicationError("slave role needs the master's address")
+    return MasterSlaveSlave(master)
+
+
+register_protocol(PROTOCOL, _make_client,
+                  {"master": _make_master, "slave": _make_slave})

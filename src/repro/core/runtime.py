@@ -1,0 +1,111 @@
+"""The per-address-space Globe run-time system and ``bind`` (§3.4).
+
+Binding installs a local representative of a DSO in the caller's
+address space:
+
+1. the OID is resolved to contact addresses by the Globe Location
+   Service (nearest replica first);
+2. the implementation named by the chosen contact address is loaded
+   from a nearby implementation repository;
+3. a client-role (or cache-role) representative is composed and wired
+   to the chosen replica.
+
+The runtime accepts any location-service client exposing
+``lookup(oid_hex) -> generator -> [contact-address wire dicts]`` — the
+real :class:`repro.gls.service.GlsClient` in deployments, or a stub in
+unit tests.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Generator, Optional
+
+from ..sim.transport import Host
+from .ids import ContactAddress, ObjectId
+from .local_repr import LocalRepresentative
+from .replication.base import PROTOCOLS
+from .repository import ImplementationRepository
+
+__all__ = ["Runtime", "BindError"]
+
+
+class BindError(Exception):
+    """Raised when an OID cannot be bound to a local representative."""
+
+
+class Runtime:
+    """Globe run-time system for one address space (one host)."""
+
+    def __init__(self, world, host: Host, location_service,
+                 repository: ImplementationRepository,
+                 channel_wrapper: Optional[Callable] = None,
+                 binding_ttl: Optional[float] = None):
+        """``binding_ttl`` makes cached bindings soft state: a bind
+        older than the TTL is refreshed with a new GLS lookup, so
+        long-lived address spaces (HTTPDs) notice replicas that were
+        added or moved after they first bound."""
+        self.world = world
+        self.host = host
+        self.location_service = location_service
+        self.repository = repository
+        self.channel_wrapper = channel_wrapper
+        self.binding_ttl = binding_ttl
+        self.bound: Dict[ObjectId, LocalRepresentative] = {}
+        self._bound_at: Dict[ObjectId, float] = {}
+        self.binds_performed = 0
+
+    def bind(self, oid: ObjectId, cache_ttl: Optional[float] = None,
+             refresh: bool = False
+             ) -> Generator[Any, Any, LocalRepresentative]:
+        """Install (or reuse) a local representative for ``oid``.
+
+        ``lr = yield from runtime.bind(oid)``
+
+        ``cache_ttl`` selects a caching representative that holds a
+        local state copy with the given freshness window; otherwise the
+        protocol named in the nearest contact address decides the
+        client subobject.  ``refresh=True`` forces a fresh GLS lookup
+        (used after a replica crash made the cached binding stale).
+        """
+        if not refresh and oid in self.bound:
+            age = self.world.now - self._bound_at.get(oid, 0.0)
+            if self.binding_ttl is None or age <= self.binding_ttl:
+                return self.bound[oid]
+        wires = yield from self.location_service.lookup(oid.hex)
+        if not wires:
+            raise BindError("no contact addresses for %r" % oid)
+        addresses = [ContactAddress.from_wire(wire) for wire in wires]
+        primary = addresses[0]
+        implementation = yield from self.repository.load(
+            self.host, primary.impl_id)
+        if cache_ttl is not None:
+            semantics = implementation.make_semantics()
+            replication = PROTOCOLS["cache"]["client"](
+                addresses, ttl=cache_ttl)
+        else:
+            if primary.protocol not in PROTOCOLS:
+                raise BindError("unknown replication protocol %r"
+                                % primary.protocol)
+            semantics = None
+            replication = PROTOCOLS[primary.protocol]["client"](addresses)
+        representative = LocalRepresentative(
+            self.host, self.world, oid, implementation.interface, semantics,
+            replication, channel_wrapper=self.channel_wrapper)
+        yield from representative.start()
+        old = self.bound.get(oid)
+        if old is not None:
+            old.detach()
+        self.bound[oid] = representative
+        self._bound_at[oid] = self.world.now
+        self.binds_performed += 1
+        return representative
+
+    def unbind(self, oid: ObjectId) -> None:
+        representative = self.bound.pop(oid, None)
+        self._bound_at.pop(oid, None)
+        if representative is not None:
+            representative.detach()
+
+    def unbind_all(self) -> None:
+        for oid in list(self.bound):
+            self.unbind(oid)

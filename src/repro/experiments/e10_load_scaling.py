@@ -1,0 +1,147 @@
+"""Experiment E10 (extension) — §3.1's first reason for replication.
+
+"First, there are a potentially very large number of people interested
+in a particular software package and multiple machines are needed to
+handle such a load."
+
+Servers here are finite: each HTTPD has a worker pool and a fixed CPU
+service time per request.  A closed population of clients hammers one
+popular package at increasing offered load, against
+
+* a single access point backed by the only replica, and
+* an access point + replica in every region.
+
+Reported per offered load: achieved throughput and mean/p95 response
+time.  Expected shape: the single server saturates at roughly
+``workers / service_time`` requests per second — queueing delay then
+grows without bound — while the replicated deployment splits the load
+across machines and keeps latency flat well past the single-server
+knee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..analysis.metrics import Series
+from ..analysis.tables import Table, format_seconds
+from ..gdn.deployment import GdnDeployment
+from ..gdn.scenario import ReplicationScenario
+from ..sim.topology import Topology
+from ..workloads.packages import synthetic_file
+
+__all__ = ["run_load_scaling_experiment", "format_result", "assert_shape"]
+
+PACKAGE = "/apps/devel/HotRelease"
+_FILE = "release.tar.gz"
+
+#: Worker pool and per-request CPU of every HTTPD in this experiment.
+WORKERS = 4
+SERVICE_TIME = 0.040  # seconds -> one HTTPD saturates at ~100 req/s
+
+
+def _run_deployment(replicate: bool, offered_load: float, seed: int,
+                    request_count: int) -> dict:
+    topology = Topology.balanced(regions=3, countries=1, cities=1, sites=2)
+    gdn = GdnDeployment(topology=topology, seed=seed, secure=False)
+    for index, region in enumerate(gdn._regions()):
+        gos_name = "gos-%d" % index
+        gdn.add_gos(gos_name, next(region.sites()))
+    for index, gos_name in enumerate(sorted(gdn.object_servers)):
+        gdn.add_httpd("httpd-%d" % index, colocate_with=gos_name,
+                      concurrency=WORKERS, service_time=SERVICE_TIME)
+    gdn.initial_sync()
+    moderator = gdn.add_moderator("mod", "r0/c0/m0/s1")
+    slaves = sorted(gdn.object_servers)[1:] if replicate else []
+
+    def publish():
+        yield from moderator.create_package(
+            PACKAGE, {_FILE: synthetic_file("hot", 30_000)},
+            ReplicationScenario.master_slave("gos-0", slaves,
+                                             cache_ttl=600.0))
+
+    gdn.run(publish(), host=moderator.host)
+    gdn.settle(5.0)
+
+    # Clients spread over all regions; each issues one request at its
+    # scheduled time (open-loop arrivals at the offered rate).
+    latency = Series("latency")
+    completed = []
+    browsers = {}
+    rng = gdn.world.rng_for("e10-load")
+
+    sites = [site.path for site in gdn.world.topology.sites]
+
+    def browser_for(site_path):
+        if site_path not in browsers:
+            browsers[site_path] = gdn.add_browser(
+                "load-%s" % site_path.replace("/", "-"), site_path)
+        return browsers[site_path]
+
+    def one_request(site_path):
+        browser = browser_for(site_path)
+        response = yield from browser.download(PACKAGE, _FILE)
+        if response.ok:
+            latency.add(response.elapsed)
+        completed.append(response.status)
+
+    def driver():
+        start = gdn.world.now
+        for index in range(request_count):
+            target = start + index / offered_load
+            if target > gdn.world.now:
+                yield gdn.world.sim.timeout(target - gdn.world.now)
+            gdn.world.sim.process(
+                one_request(sites[rng.randrange(len(sites))]))
+        while len(completed) < request_count:
+            yield gdn.world.sim.timeout(0.5)
+        return gdn.world.now - start
+
+    elapsed = gdn.run(driver(), limit=1e9)
+    return {
+        "replicate": replicate,
+        "offered": offered_load,
+        "achieved": latency.count / elapsed,
+        "latency": latency,
+        "ok": latency.count,
+    }
+
+
+def run_load_scaling_experiment(seed: int = 61,
+                                loads=(40.0, 90.0, 160.0),
+                                request_count: int = 400) -> Dict:
+    rows: List[dict] = []
+    for offered in loads:
+        rows.append(_run_deployment(False, offered, seed, request_count))
+        rows.append(_run_deployment(True, offered, seed, request_count))
+    return {"rows": rows, "requests": request_count,
+            "capacity_one": WORKERS / SERVICE_TIME}
+
+
+def format_result(result: Dict) -> str:
+    table = Table(["deployment", "offered req/s", "achieved req/s",
+                   "mean response", "p95 response"],
+                  title="E10 (extension) / §3.1 - one replica vs one per "
+                        "region under load (single-HTTPD capacity "
+                        "~%.0f req/s)" % result["capacity_one"])
+    for row in result["rows"]:
+        table.add_row("replicated" if row["replicate"] else "single",
+                      "%.0f" % row["offered"],
+                      "%.1f" % row["achieved"],
+                      format_seconds(row["latency"].mean),
+                      format_seconds(row["latency"].p(95)))
+    return table.render()
+
+
+def assert_shape(result: Dict) -> None:
+    single = [row for row in result["rows"] if not row["replicate"]]
+    replicated = [row for row in result["rows"] if row["replicate"]]
+    # Under the highest offered load, the single deployment is
+    # saturated: replication serves the same load much faster.
+    worst_single = single[-1]
+    worst_replicated = replicated[-1]
+    assert worst_single["offered"] > result["capacity_one"]
+    assert worst_replicated["latency"].mean \
+        < worst_single["latency"].mean / 2
+    # At low load both behave comparably (no replication penalty).
+    assert replicated[0]["latency"].mean < single[0]["latency"].mean * 1.5

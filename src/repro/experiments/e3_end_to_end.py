@@ -1,0 +1,225 @@
+"""Experiment E3 — Figure 3: the GDN against its two ancestors.
+
+The paper positions the GDN as an improvement over anonymous FTP (full
+mirroring) and the single-origin World Wide Web (§1, §2).  We replay
+the same Zipf-popular, geographically spread download workload against
+all three architectures on identical topology and corpus:
+
+* **WWW**       — one origin server, every request crosses the world
+                  to it;
+* **FTP mirror**— a full mirror per region: local reads, but the whole
+                  corpus is shipped to every mirror up front;
+* **GDN**       — per-object scenarios from the ScenarioAdvisor:
+                  popular packages get replicas in their hot regions,
+                  the long tail stays on one server; HTTPDs cache.
+
+Reported per system: distribution (setup) wide-area bytes, serving
+wide-area bytes, mean and p95 download latency.  Expected shape: WWW
+minimises setup traffic but pays latency and serving WAN bytes; the
+mirror minimises latency but pays for replicating the unpopular tail;
+the GDN approaches mirror latency at a fraction of the setup traffic.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..analysis.metrics import Series, TrafficDelta
+from ..analysis.tables import Table, format_bytes, format_seconds
+from ..baselines.mirror import MirrorNetwork
+from ..baselines.www import WwwClient, WwwServer
+from ..gdn.deployment import GdnDeployment
+from ..gdn.scenario import ObjectUsage, ScenarioAdvisor
+from ..sim.topology import Topology
+from ..workloads.packages import PackageSpec, generate_corpus
+from ..workloads.population import ClientPopulation, RequestStream
+
+__all__ = ["run_end_to_end_experiment", "format_result"]
+
+
+def _topology() -> Topology:
+    return Topology.balanced(regions=3, countries=2, cities=1, sites=2)
+
+
+def _workload(seed: int, package_count: int, read_count: int):
+    rng = random.Random(seed)
+    corpus = generate_corpus(package_count, rng, mean_file_size=30_000)
+    population = ClientPopulation(_topology(), package_count,
+                                  random.Random(seed + 1), alpha=1.0,
+                                  home_share=0.6)
+    stream = population.generate(read_count)
+    return corpus, stream
+
+
+class _SiteClients:
+    """Lazily creates one client host per requesting site."""
+
+    def __init__(self, world, prefix):
+        self.world = world
+        self.prefix = prefix
+        self._hosts = {}
+
+    def host_for(self, site):
+        # The stream's Domain objects belong to the workload's own
+        # topology instance; translate by path into this world's.
+        key = site.path
+        if key not in self._hosts:
+            name = "%s-%s" % (self.prefix, key.replace("/", "-"))
+            self._hosts[key] = self.world.host(name, key)
+        return self._hosts[key]
+
+
+def _run_www(corpus: List[PackageSpec], stream: RequestStream,
+             seed: int) -> dict:
+    from ..sim.world import World
+
+    world = World(topology=_topology(), seed=seed)
+    origin = world.host("www-origin", "r0/c0/m0/s0")
+    server = WwwServer(world, origin)
+    setup = TrafficDelta(world.network.meter)
+    for spec in corpus:
+        for path, data in spec.materialize().items():
+            server.publish("%s/%s" % (spec.name, path), data)
+    server.start()
+    setup_bytes = setup.wide_area_bytes()  # zero: no distribution
+
+    serving = TrafficDelta(world.network.meter)
+    latency = Series("www")
+    clients = _SiteClients(world, "user")
+    www_clients = {}
+
+    def replay():
+        for request in stream:
+            host = clients.host_for(request.site)
+            client = www_clients.get(host.name)
+            if client is None:
+                client = WwwClient(world, host, server)
+                www_clients[host.name] = client
+            spec = corpus[request.object_index]
+            path = "%s/%s" % (spec.name, spec.largest_file)
+            status, _body, elapsed = yield from client.get(path)
+            assert status == 200
+            latency.add(elapsed)
+
+    world.run_until(world.sim.process(replay()), limit=1e9)
+    return {"system": "WWW single origin", "setup_wan": setup_bytes,
+            "serving_wan": serving.wide_area_bytes(), "latency": latency}
+
+
+def _run_mirror(corpus: List[PackageSpec], stream: RequestStream,
+                seed: int) -> dict:
+    from ..sim.world import World
+
+    world = World(topology=_topology(), seed=seed)
+    origin_host = world.host("ftp-origin", "r0/c0/m0/s0")
+    network = MirrorNetwork(world, origin_host, sync_period=1e9)
+    for region in world.topology.world.children.values():
+        if region.name == "r0":
+            continue
+        network.add_mirror(world.host("ftp-mirror-%s" % region.name,
+                                      next(region.sites())))
+    setup = TrafficDelta(world.network.meter)
+    for spec in corpus:
+        for path, data in spec.materialize().items():
+            network.publish("%s/%s" % (spec.name, path), data)
+    world.run_until(world.sim.process(network.sync_all()), limit=1e9)
+    setup_bytes = setup.wide_area_bytes()
+
+    serving = TrafficDelta(world.network.meter)
+    latency = Series("mirror")
+    clients = _SiteClients(world, "user")
+
+    def replay():
+        for request in stream:
+            host = clients.host_for(request.site)
+            spec = corpus[request.object_index]
+            path = "%s/%s" % (spec.name, spec.largest_file)
+            status, _body, elapsed = yield from network.fetch(host, path)
+            assert status == 200
+            latency.add(elapsed)
+
+    world.run_until(world.sim.process(replay()), limit=1e9)
+    return {"system": "FTP full mirroring", "setup_wan": setup_bytes,
+            "serving_wan": serving.wide_area_bytes(), "latency": latency}
+
+
+def _run_gdn(corpus: List[PackageSpec], stream: RequestStream,
+             seed: int) -> dict:
+    gdn = GdnDeployment(topology=_topology(), seed=seed, secure=False)
+    gdn.standard_fleet(gos_per_region=1)
+    gdn.initial_sync()
+    moderator = gdn.add_moderator("mod", "r0/c0/m0/s1")
+    advisor = ScenarioAdvisor(gdn.gos_by_region(),
+                              popularity_threshold=max(
+                                  10, len(stream) // (4 * len(corpus))))
+    ttl_by_name = {}
+    setup = TrafficDelta(gdn.world.network.meter)
+
+    def publish():
+        for index, spec in enumerate(corpus):
+            usage = ObjectUsage(stream.reads_by_region(index),
+                                writes=stream.writes(index),
+                                size=spec.total_size)
+            scenario = advisor.recommend(usage)
+            ttl_by_name[spec.name] = scenario.cache_ttl
+            yield from moderator.create_package(spec.name,
+                                                spec.materialize(),
+                                                scenario)
+
+    gdn.run(publish(), host=moderator.host)
+    gdn.settle(10.0)
+    for httpd in gdn.httpds:
+        httpd.cache_policy = lambda name: ttl_by_name.get(name, 60.0)
+    setup_bytes = setup.wide_area_bytes()
+
+    serving = TrafficDelta(gdn.world.network.meter)
+    latency = Series("gdn")
+    browsers = {}
+
+    def replay():
+        for request in stream:
+            key = request.site.path
+            browser = browsers.get(key)
+            if browser is None:
+                browser = gdn.add_browser(
+                    "browser-%s" % key.replace("/", "-"), key)
+                browsers[key] = browser
+            spec = corpus[request.object_index]
+            response = yield from browser.download(spec.name,
+                                                   spec.largest_file)
+            assert response.ok, response.status
+            latency.add(response.elapsed)
+
+    gdn.run(replay(), limit=1e9)
+    return {"system": "GDN (per-object scenarios)",
+            "setup_wan": setup_bytes,
+            "serving_wan": serving.wide_area_bytes(), "latency": latency}
+
+
+def run_end_to_end_experiment(seed: int = 3, package_count: int = 12,
+                              read_count: int = 250) -> Dict:
+    corpus, stream = _workload(seed, package_count, read_count)
+    rows = [
+        _run_www(corpus, stream, seed),
+        _run_mirror(corpus, stream, seed),
+        _run_gdn(corpus, stream, seed),
+    ]
+    return {"rows": rows, "packages": package_count,
+            "reads": read_count,
+            "corpus_bytes": sum(spec.total_size for spec in corpus)}
+
+
+def format_result(result: Dict) -> str:
+    table = Table(["system", "setup WAN", "serving WAN", "mean latency",
+                   "p95 latency"],
+                  title="E3 / Figure 3 - %d downloads of %d packages "
+                        "(corpus %s) across 3 regions"
+                        % (result["reads"], result["packages"],
+                           format_bytes(result["corpus_bytes"])))
+    for row in result["rows"]:
+        table.add_row(row["system"], format_bytes(row["setup_wan"]),
+                      format_bytes(row["serving_wan"]),
+                      format_seconds(row["latency"].mean),
+                      format_seconds(row["latency"].p(95)))
+    return table.render()

@@ -1,0 +1,156 @@
+"""Experiment E7 — §5: the DNS-based Globe Name Service.
+
+Measures the properties the paper claims make DNS a workable GNS
+prototype:
+
+* resolver caching makes repeated name resolutions nearly free
+  ("DNS … cache entries at client-side resolvers");
+* multiple authoritative servers spread the query load over regions;
+* the naming authority batches zone updates ("The number of updates to
+  our zone can be kept low by batching them");
+* two-level naming stability: moving replicas touches only the GLS,
+  never the name mapping, so caches stay valid.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.metrics import Series
+from ..analysis.tables import Table, format_seconds
+from ..gdn.deployment import GdnDeployment
+from ..sim import rpc
+from ..sim.topology import Topology
+
+__all__ = ["run_gns_resolution_experiment", "format_result"]
+
+
+def run_gns_resolution_experiment(seed: int = 29, name_count: int = 40,
+                                  batch_windows=(0.0, 0.5, 2.0)) -> Dict:
+    topology = Topology.balanced(regions=3, countries=2, cities=1, sites=2)
+    result: Dict = {"name_count": name_count}
+
+    # -- batching: one authority, varying windows -----------------------
+    batching_rows = []
+    for window in batch_windows:
+        gdn = GdnDeployment(topology=topology, seed=seed, secure=False,
+                            batch_window=window)
+        gdn.initial_sync()
+        tool_host = gdn.world.host("tool", "r0/c0/m0/s1")
+        updates_before = gdn.dns_primary.updates_applied
+
+        def add_names(gdn=gdn, tool_host=tool_host):
+            channel = yield from rpc.RpcChannel.open(
+                tool_host, gdn.authority.host, gdn.authority.port)
+            pending = [gdn.world.sim.process(channel.call(
+                "add_name", {"name": "/apps/pkg%03d" % i,
+                             "oid": "%040x" % i}))
+                for i in range(name_count)]
+            for process in pending:
+                yield process
+            channel.close()
+
+        start = gdn.world.now
+        gdn.run(add_names(), host=tool_host)
+        batching_rows.append({
+            "window": window,
+            "updates": gdn.dns_primary.updates_applied - updates_before,
+            "elapsed": gdn.world.now - start,
+        })
+    result["batching"] = batching_rows
+
+    # -- resolution latency: cold vs warm caches -----------------------------
+    gdn = GdnDeployment(topology=topology, seed=seed, secure=False,
+                        batch_window=0.1)
+    gdn.initial_sync()
+    tool_host = gdn.world.host("tool", "r0/c0/m0/s1")
+
+    def add_names():
+        for index in range(name_count):
+            yield from rpc.call(tool_host, gdn.authority.host,
+                                gdn.authority.port, "add_name",
+                                {"name": "/apps/pkg%03d" % index,
+                                 "oid": "%040x" % index})
+
+    gdn.run(add_names(), host=tool_host)
+    gdn.settle(5.0)
+
+    user_host = gdn.world.host("user", "r2/c1/m0/s1")
+    gns = gdn._name_service(user_host)
+    cold = Series("cold")
+    warm = Series("warm")
+
+    def resolve_all():
+        for index in range(name_count):
+            name = "/apps/pkg%03d" % index
+            start = gdn.world.now
+            yield from gns.resolve(name)
+            cold.add(gdn.world.now - start)
+        for index in range(name_count):
+            name = "/apps/pkg%03d" % index
+            start = gdn.world.now
+            yield from gns.resolve(name)
+            warm.add(gdn.world.now - start)
+
+    gdn.run(resolve_all(), host=user_host)
+    result["cold"] = cold
+    result["warm"] = warm
+    result["queries_sent"] = gns.resolver.queries_sent
+    result["cache_hits"] = gns.resolver.cache_hits
+
+    # Load spreads over the secondaries (the §5 scaling argument).
+    result["primary_queries"] = gdn.dns_primary.queries_served
+    result["secondary_queries"] = [secondary.queries_served for secondary
+                                   in gdn.dns_secondaries]
+
+    # -- two-level naming stability ------------------------------------------
+    # Resolving again after "replica movement" (a pure GLS-side event)
+    # is a cache hit: the name layer never saw it.
+    hits_before = gns.resolver.cache_hits
+
+    def resolve_after_move():
+        yield from gns.resolve("/apps/pkg000")
+
+    gdn.run(resolve_after_move(), host=user_host)
+    result["stable_after_move"] = gns.resolver.cache_hits == hits_before + 1
+    return result
+
+
+def format_result(result: Dict) -> str:
+    parts = []
+    table = Table(["authority batch window", "DNS UPDATE messages",
+                   "time to add all names"],
+                  title="E7 / §5 - batching zone updates "
+                        "(%d names added)" % result["name_count"])
+    for row in result["batching"]:
+        table.add_row("%.1f s" % row["window"], row["updates"],
+                      format_seconds(row["elapsed"]))
+    parts.append(table.render())
+
+    table = Table(["resolver state", "mean resolve", "p95 resolve",
+                   "DNS queries"],
+                  title="name resolution from a distant region "
+                        "(%d names)" % result["name_count"])
+    cold, warm = result["cold"], result["warm"]
+    total_queries = result["queries_sent"]
+    table.add_row("cold cache", format_seconds(cold.mean),
+                  format_seconds(cold.p(95)), total_queries)
+    table.add_row("warm cache", format_seconds(warm.mean),
+                  format_seconds(warm.p(95)),
+                  "0 (all %d hits)" % result["cache_hits"])
+    parts.append(table.render())
+    parts.append("authoritative load: primary=%d secondaries=%s"
+                 % (result["primary_queries"],
+                    result["secondary_queries"]))
+    parts.append("name mapping survives replica movement (cache hit): %s"
+                 % result["stable_after_move"])
+    return "\n\n".join(parts)
+
+
+def assert_shape(result: Dict) -> None:
+    # Batching collapses many requests into few UPDATEs.
+    first, last = result["batching"][0], result["batching"][-1]
+    assert last["updates"] < first["updates"]
+    # Warm-cache resolution is much faster than cold.
+    assert result["warm"].mean < result["cold"].mean / 5
+    assert result["stable_after_move"]

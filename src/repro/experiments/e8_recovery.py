@@ -1,0 +1,146 @@
+"""Experiment E8 — §4/§6.1: failures, persistence, recovery.
+
+The paper requires Globe Object Servers to "save their state during a
+reboot and reconstruct themselves afterwards" (§4) and lists host and
+network failures as availability threats (§6.1).  We crash one
+replica's machine mid-workload and measure:
+
+* client-visible failures while the machine is down (users bound to
+  the surviving replica keep working; users of the dead access point
+  fail over by rebinding),
+* the recovery: after reboot the GOS reconstructs its replicas from
+  stable storage, slaves re-join their master and catch up on writes
+  missed while down,
+* a GLS directory-node crash and recovery from its persisted records.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..analysis.metrics import Series
+from ..analysis.tables import Table, format_seconds
+from ..gdn.deployment import GdnDeployment
+from ..gdn.scenario import ReplicationScenario
+from ..sim.topology import Topology
+from ..workloads.packages import synthetic_file
+
+__all__ = ["run_recovery_experiment", "format_result"]
+
+
+def run_recovery_experiment(seed: int = 31, downloads: int = 30) -> Dict:
+    topology = Topology.balanced(regions=2, countries=2, cities=1, sites=2)
+    gdn = GdnDeployment(topology=topology, seed=seed, secure=False)
+    gdn.standard_fleet(gos_per_region=1)
+    gdn.initial_sync()
+    moderator = gdn.add_moderator("mod", "r0/c0/m0/s1")
+    files = {"README": synthetic_file("e8", 2_000),
+             "data/blob": synthetic_file("e8-blob", 40_000)}
+
+    def publish():
+        oid = yield from moderator.create_package(
+            "/apps/net/e8pkg", files,
+            ReplicationScenario.master_slave("gos-r0-0", ["gos-r1-0"],
+                                             cache_ttl=5.0))
+        return oid
+
+    oid = gdn.run(publish(), host=moderator.host)
+    gdn.settle(5.0)
+
+    slave = gdn.object_servers["gos-r1-0"]
+    browser = gdn.add_browser("user", "r1/c1/m0/s1")  # near the slave
+    ok_before = Series("before")
+    failures_during = 0
+    ok_during = 0
+    ok_after = Series("after")
+
+    def phase(series_or_none, count):
+        nonlocal failures_during, ok_during
+        for _ in range(count):
+            try:
+                response = yield from browser.download("/apps/net/e8pkg",
+                                                       "README")
+            except Exception:  # noqa: BLE001 - connection to dead AP
+                failures_during += 1
+                browser.close()
+                continue
+            if response.ok:
+                if series_or_none is not None:
+                    series_or_none.add(response.elapsed)
+                else:
+                    ok_during += 1
+            else:
+                failures_during += 1
+            yield gdn.world.sim.timeout(1.0)
+
+    # Phase 1: healthy.
+    gdn.run(phase(ok_before, downloads), host=browser.host)
+
+    # Phase 2: the slave's machine (GOS + colocated HTTPD) dies.
+    crash_time = gdn.world.now
+    slave.host.crash()
+    gdn.run(phase(None, downloads), host=browser.host)
+
+    # While down, the master takes a write the slave must catch up on.
+    def write_while_down():
+        yield from moderator.update_package(
+            "/apps/net/e8pkg",
+            add_files={"NEWS": synthetic_file("e8-news", 500)})
+
+    gdn.run(write_while_down(), host=moderator.host)
+
+    # Phase 3: reboot + recovery, then downloads again.
+    gdn.recover_gos("gos-r1-0")
+    recovery_time = gdn.world.now
+    browser.close()
+    gdn.run(phase(ok_after, downloads), host=browser.host)
+
+    slave_lr = slave.replicas[oid.hex]
+    caught_up = (slave_lr.semantics.getFileContents("NEWS")
+                 == synthetic_file("e8-news", 500))
+
+    # -- GLS node crash/recovery -----------------------------------------
+    leaf = gdn.gls.node_for("r0/c0/m0/s0", oid.hex)
+    records_before = len(leaf.records)
+    leaf.host.crash()
+    leaf.host.restart()
+    gdn.run(leaf.recover())
+    gls_recovered = len(leaf.records) == records_before and records_before > 0
+
+    return {
+        "downloads_per_phase": downloads,
+        "before": ok_before,
+        "failures_during": failures_during,
+        "ok_during": ok_during,
+        "after": ok_after,
+        "downtime": recovery_time - crash_time,
+        "slave_caught_up": caught_up,
+        "gls_records_recovered": gls_recovered,
+    }
+
+
+def format_result(result: Dict) -> str:
+    table = Table(["phase", "successful downloads", "mean latency",
+                   "failures"],
+                  title="E8 / §4 - replica machine crash and reboot "
+                        "recovery (%d downloads per phase)"
+                        % result["downloads_per_phase"])
+    table.add_row("healthy", result["before"].count,
+                  format_seconds(result["before"].mean), 0)
+    table.add_row("replica host down", result["ok_during"], "-",
+                  result["failures_during"])
+    table.add_row("after recovery", result["after"].count,
+                  format_seconds(result["after"].mean), 0)
+    lines = [table.render()]
+    lines.append("slave re-joined master and caught up on missed "
+                 "writes: %s" % result["slave_caught_up"])
+    lines.append("GLS directory node recovered its records from "
+                 "stable storage: %s" % result["gls_records_recovered"])
+    return "\n".join(lines)
+
+
+def assert_shape(result: Dict) -> None:
+    assert result["before"].count == result["downloads_per_phase"]
+    assert result["after"].count == result["downloads_per_phase"]
+    assert result["slave_caught_up"]
+    assert result["gls_records_recovered"]

@@ -1,0 +1,453 @@
+"""Whole-GDN deployment builder (Figure 3, end to end).
+
+Wires every system of the reproduction together the way the paper's
+architecture diagram does: DNS infrastructure carrying the GDN Zone,
+the GLS directory-node tree, implementation repositories, a fleet of
+Globe Object Servers, GDN-enabled HTTPDs (colocated with the object
+servers in the first versions, §4), GDN proxies on user machines,
+the GNS Naming Authority, moderator tools, and browsers — under the
+§6.2/§6.3 security configuration when ``secure=True`` (two-way TLS
+between GDN hosts, server-side TLS toward user machines, TSIG on zone
+updates, HMAC-authenticated GLS registrations).
+
+Experiments and examples construct one :class:`GdnDeployment`, add
+components at chosen sites, and drive simulated users against it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Generator, List, Optional, Tuple, Union
+
+from ..core.repository import Implementation, ImplementationRepository
+from ..core.runtime import Runtime
+from ..gls.tree import GlsTree
+from ..gls.service import GlsClient
+from ..gns.authority import AUTHORITY_PORT, NamingAuthority
+from ..gns.dns.records import ResourceRecord, RRType
+from ..gns.dns.resolver import CachingResolver
+from ..gns.dns.server import DNS_PORT, AuthoritativeServer
+from ..gns.dns.tsig import TsigKey, TsigKeyring
+from ..gns.gns import DEFAULT_GDN_ZONE, GlobeNameService
+from ..gos.server import DEFAULT_GOS_PORT, GlobeObjectServer
+from ..security.acl import GdnPolicy, PrincipalRegistry, Role, role_attribute
+from ..security.certs import CertificateAuthority, Credentials
+from ..security.tls import CostModel, client_wrapper, server_factory
+from ..sim.network import LinkParameters
+from ..sim.stable import DiskStore
+from ..sim.topology import Domain, Topology
+from ..sim.transport import Host
+from ..sim.world import World
+from .browser import Browser, nearest_access_point
+from .httpd import HTTP_PORT, GdnHttpd
+from .moderator import ModeratorTool
+from .package import PACKAGE_IMPL_ID, PackageSemantics
+
+__all__ = ["GdnDeployment"]
+
+
+class GdnDeployment:
+    """One fully wired Globe Distribution Network."""
+
+    def __init__(self, topology: Optional[Topology] = None, seed: int = 0,
+                 secure: bool = True, encryption: bool = True,
+                 gls_partition: Union[int, Dict[str, int]] = 1,
+                 batch_window: float = 0.2,
+                 link_params: Optional[LinkParameters] = None,
+                 tls_costs: Optional[CostModel] = None,
+                 package_code_size: int = 80_000):
+        self.world = World(topology=topology or Topology.balanced(2, 2, 2, 2),
+                           params=link_params, seed=seed)
+        self.secure = secure
+        self.encryption = encryption
+        self.tls_costs = tls_costs or CostModel()
+        self.disk = DiskStore()
+        self.zone = DEFAULT_GDN_ZONE
+
+        # -- security infrastructure (§6) --------------------------------
+        self.ca: Optional[CertificateAuthority] = None
+        self.registry: Optional[PrincipalRegistry] = None
+        self.policy: Optional[GdnPolicy] = None
+        self.public_trust: Optional[Credentials] = None
+        self.gls_key: Optional[bytes] = None
+        self._credentials: Dict[str, Credentials] = {}
+        if secure:
+            pki_rng = self.world.rng_for("gdn-pki")
+            self.ca = CertificateAuthority("gdn-ca", pki_rng)
+            self.registry = PrincipalRegistry()
+            self.policy = GdnPolicy(self.registry)
+            # Browsers carry only the root certificate (trust anchor).
+            self.public_trust = Credentials.issue_for(
+                "public-trust", self.ca, pki_rng)
+            self.gls_key = b"gdn-gls-shared-key"
+        self.tsig_key = TsigKey("gdn-key", b"gdn-zone-update-secret")
+
+        # -- naming + location infrastructure -------------------------------
+        self._build_dns()
+        self.gls = GlsTree(self.world, partition=gls_partition,
+                           auth_key=self.gls_key, disk=self.disk)
+        self.repository = ImplementationRepository(self.world)
+        self.repository.register(Implementation(
+            PACKAGE_IMPL_ID, PackageSemantics,
+            code_size=package_code_size))
+        self._add_repository_hosts()
+        self._build_authority(batch_window)
+        self._build_search()
+
+        # -- application component registries -----------------------------------
+        self.object_servers: Dict[str, GlobeObjectServer] = {}
+        self.httpds: List[GdnHttpd] = []
+        self.moderators: Dict[str, ModeratorTool] = {}
+        self.browsers: Dict[str, Browser] = {}
+
+    # -- infrastructure construction -----------------------------------------
+
+    def _regions(self) -> List[Domain]:
+        return list(self.world.topology.world.children.values())
+
+    @staticmethod
+    def _first_site(domain: Domain) -> Domain:
+        return next(domain.sites())
+
+    def _build_dns(self) -> None:
+        world = self.world
+        regions = self._regions()
+        keyring = TsigKeyring()
+        keyring.add(self.tsig_key)
+
+        root_host = world.host("dns-root", self._first_site(regions[0]))
+        self.dns_root = AuthoritativeServer(world, root_host)
+        from ..gns.dns.zone import Zone
+        root_zone = Zone("", primary_host=root_host.name)
+        tld = self.zone.split(".")[-1]
+        tld_site = self._first_site(regions[min(1, len(regions) - 1)])
+        tld_host = world.host("dns-tld", tld_site)
+        root_zone.add_record(ResourceRecord(tld, RRType.NS, 86400,
+                                            tld_host.name))
+        self.dns_root.add_primary_zone(root_zone)
+        self.dns_root.start()
+
+        self.dns_tld = AuthoritativeServer(world, tld_host)
+        tld_zone = Zone(tld, primary_host=tld_host.name)
+        primary_host = world.host("dns-gdn-primary",
+                                  self._first_site(regions[0]))
+        tld_zone.add_record(ResourceRecord(self.zone, RRType.NS, 3600,
+                                           primary_host.name))
+        self.dns_secondaries: List[AuthoritativeServer] = []
+        secondary_endpoints = []
+        for index, region in enumerate(regions[1:], start=1):
+            sec_host = world.host("dns-gdn-sec%d" % index,
+                                  self._first_site(region))
+            tld_zone.add_record(ResourceRecord(self.zone, RRType.NS, 3600,
+                                               sec_host.name))
+            secondary_endpoints.append((sec_host.name, DNS_PORT))
+            secondary = AuthoritativeServer(world, sec_host, keyring=keyring)
+            secondary.add_secondary_zone(self.zone,
+                                         (primary_host.name, DNS_PORT))
+            secondary.start()
+            self.dns_secondaries.append(secondary)
+        self.dns_tld.add_primary_zone(tld_zone)
+        self.dns_tld.start()
+
+        self.dns_primary = AuthoritativeServer(world, primary_host,
+                                               keyring=keyring)
+        gdn_zone = Zone(self.zone, primary_host=primary_host.name)
+        self.dns_primary.add_primary_zone(gdn_zone,
+                                          secondaries=secondary_endpoints)
+        self.dns_primary.start()
+        self.root_hints = [(root_host.name, DNS_PORT)]
+
+    def _add_repository_hosts(self) -> None:
+        for index, region in enumerate(self._regions()):
+            host = self.world.host("implrepo-%d" % index,
+                                   self._first_site(region))
+            self.repository.add_repository_host(host)
+
+    def _build_authority(self, batch_window: float) -> None:
+        host = self.world.host("gns-authority",
+                               self._first_site(self._regions()[0]))
+        factory = None
+        authorizer = None
+        if self.secure:
+            credentials = self._gdn_host_credentials(host)
+            factory = server_factory(credentials, client_auth="required",
+                                     encryption=self.encryption,
+                                     costs=self.tls_costs)
+            authorizer = self.policy.authority_authorizer
+        self.authority = NamingAuthority(
+            self.world, host, primary=self.dns_primary.endpoint,
+            tsig_key=self.tsig_key, zone=self.zone,
+            channel_factory=factory, authorizer=authorizer,
+            batch_window=batch_window)
+        self.authority.start()
+
+    def _build_search(self) -> None:
+        from .search import SearchService
+
+        host = self.world.host("gdn-search",
+                               self._first_site(self._regions()[0]))
+        factory = None
+        authorizer = None
+        if self.secure:
+            credentials = self._gdn_host_credentials(host)
+            factory = server_factory(credentials, client_auth="optional",
+                                     encryption=self.encryption,
+                                     costs=self.tls_costs)
+            authorizer = self.policy.authority_authorizer
+        self.search = SearchService(self.world, host,
+                                    channel_factory=factory,
+                                    authorizer=authorizer)
+        self.search.start()
+
+    # -- credentials -----------------------------------------------------------
+
+    def _gdn_host_credentials(self, host: Host) -> Credentials:
+        if not self.secure:
+            raise ValueError("deployment is not secured")
+        if host.name not in self._credentials:
+            credentials = Credentials.issue_for(
+                host.name, self.ca, self.world.rng_for("cred-%s" % host.name),
+                role_attribute(Role.GDN_HOST))
+            self.registry.grant(host.name, Role.GDN_HOST)
+            self._credentials[host.name] = credentials
+        return self._credentials[host.name]
+
+    def _gdn_client_wrapper(self, host: Host) -> Optional[Callable]:
+        """Two-way TLS wrapper for a GDN host's outbound channels."""
+        if not self.secure:
+            return None
+        return client_wrapper(credentials=self._gdn_host_credentials(host),
+                              encryption=self.encryption,
+                              costs=self.tls_costs)
+
+    def _anonymous_wrapper(self) -> Optional[Callable]:
+        """One-way (server-auth) TLS wrapper for user machines."""
+        if not self.secure:
+            return None
+        return client_wrapper(trust=self.public_trust,
+                              encryption=self.encryption,
+                              costs=self.tls_costs)
+
+    # -- component factories ------------------------------------------------------
+
+    def _gls_client(self, host: Host, authenticated: bool) -> GlsClient:
+        return GlsClient(self.world, host, self.gls,
+                         auth_key=self.gls_key if authenticated else None)
+
+    def _runtime(self, host: Host, gdn_host: bool,
+                 binding_ttl: Optional[float] = None) -> Runtime:
+        wrapper = (self._gdn_client_wrapper(host) if gdn_host
+                   else self._anonymous_wrapper())
+        return Runtime(self.world, host,
+                       self._gls_client(host, authenticated=gdn_host),
+                       self.repository, channel_wrapper=wrapper,
+                       binding_ttl=binding_ttl)
+
+    def _name_service(self, host: Host) -> GlobeNameService:
+        resolver = CachingResolver(self.world, host, self.root_hints)
+        return GlobeNameService(self.world, host, resolver, zone=self.zone)
+
+    def add_gos(self, name: str, site: Union[str, Domain],
+                port: int = DEFAULT_GOS_PORT) -> GlobeObjectServer:
+        """Add a Globe Object Server at ``site``."""
+        host = self.world.host(name, site)
+        factory = None
+        wrapper = None
+        authorizer = None
+        if self.secure:
+            credentials = self._gdn_host_credentials(host)
+            factory = server_factory(credentials, client_auth="optional",
+                                     encryption=self.encryption,
+                                     costs=self.tls_costs)
+            wrapper = self._gdn_client_wrapper(host)
+            authorizer = self.policy.gos_authorizer
+        gos = GlobeObjectServer(
+            self.world, host, self.repository,
+            self._gls_client(host, authenticated=True), port=port,
+            channel_factory=factory, channel_wrapper=wrapper,
+            authorizer=authorizer, disk=self.disk,
+            checkpoint_on_write=True)
+        gos.start()
+        self.repository.preload(host, PACKAGE_IMPL_ID)
+        self.object_servers[name] = gos
+        return gos
+
+    def add_httpd(self, name: str, site: Union[str, Domain, None] = None,
+                  colocate_with: Optional[str] = None,
+                  port: int = HTTP_PORT,
+                  cache_policy: Optional[Callable] = None,
+                  binding_ttl: Optional[float] = 300.0,
+                  concurrency: Optional[int] = None,
+                  service_time: float = 0.0) -> GdnHttpd:
+        """Add a GDN-enabled HTTPD (optionally on a GOS host, §4).
+
+        ``binding_ttl`` makes the daemon's DSO bindings soft state, so
+        it periodically re-consults the GLS and notices replicas added
+        or moved since it first bound."""
+        if colocate_with is not None:
+            host = self.object_servers[colocate_with].host
+        elif site is not None:
+            host = self.world.host(name, site)
+        else:
+            raise ValueError("need a site or a GOS to colocate with")
+        factory = None
+        if self.secure:
+            credentials = self._gdn_host_credentials(host)
+            factory = server_factory(credentials, client_auth="none",
+                                     encryption=self.encryption,
+                                     costs=self.tls_costs)
+        httpd = GdnHttpd(self.world, host,
+                         self._runtime(host, gdn_host=True,
+                                       binding_ttl=binding_ttl),
+                         self._name_service(host), port=port,
+                         channel_factory=factory, cache_policy=cache_policy,
+                         search_endpoint=(self.search.host.name,
+                                          self.search.port),
+                         concurrency=concurrency,
+                         service_time=service_time)
+        httpd.start()
+        self.httpds.append(httpd)
+        return httpd
+
+    def add_proxy(self, name: str, site: Union[str, Domain],
+                  port: int = HTTP_PORT,
+                  cache_policy: Optional[Callable] = None) -> GdnHttpd:
+        """Add a GDN-proxy on a user machine (§4): same software, no
+        GDN credentials, plain HTTP toward the local browser."""
+        host = self.world.host(name, site)
+        proxy = GdnHttpd(self.world, host,
+                         self._runtime(host, gdn_host=False),
+                         self._name_service(host), port=port,
+                         channel_factory=None, cache_policy=cache_policy,
+                         is_gdn_host=False)
+        proxy.start()
+        return proxy
+
+    def add_moderator(self, name: str, site: Union[str, Domain]
+                      ) -> ModeratorTool:
+        """Add a moderator (tool + credentials + registry entry)."""
+        host = self.world.host(name, site)
+        wrapper = None
+        if self.secure:
+            credentials = Credentials.issue_for(
+                name, self.ca, self.world.rng_for("cred-%s" % name),
+                role_attribute(Role.MODERATOR))
+            self.registry.grant(name, Role.MODERATOR)
+            self._credentials[name] = credentials
+            wrapper = client_wrapper(credentials=credentials,
+                                     encryption=self.encryption,
+                                     costs=self.tls_costs)
+        gos_registry = {gos_name: (gos.host.name, gos.port)
+                        for gos_name, gos in self.object_servers.items()}
+        tool = ModeratorTool(
+            self.world, host,
+            Runtime(self.world, host,
+                    self._gls_client(host, authenticated=False),
+                    self.repository, channel_wrapper=wrapper),
+            gos_registry,
+            (self.authority.host.name, self.authority.port),
+            self._name_service(host), channel_wrapper=wrapper,
+            search_endpoint=(self.search.host.name, self.search.port))
+        self.moderators[name] = tool
+        return tool
+
+    def add_maintainer(self, name: str, site: Union[str, Domain],
+                       maintains: Optional[List[str]] = None):
+        """Add a §2 maintainer: content rights on specific packages.
+
+        ``maintains`` lists OIDs (hex) this principal may modify; more
+        can be granted later with ``grant_maintainer``.
+        """
+        from .maintainer import MaintainerTool
+
+        host = self.world.host(name, site)
+        wrapper = None
+        if self.secure:
+            credentials = Credentials.issue_for(
+                name, self.ca, self.world.rng_for("cred-%s" % name),
+                role_attribute(Role.MAINTAINER))
+            self._credentials[name] = credentials
+            wrapper = client_wrapper(credentials=credentials,
+                                     encryption=self.encryption,
+                                     costs=self.tls_costs)
+            for oid_hex in maintains or []:
+                self.registry.grant_package(name, oid_hex)
+        tool = MaintainerTool(
+            self.world, host,
+            Runtime(self.world, host,
+                    self._gls_client(host, authenticated=False),
+                    self.repository, channel_wrapper=wrapper),
+            self._name_service(host))
+        return tool
+
+    def grant_maintainer(self, principal: str, oid_hex: str) -> None:
+        """Administrator action: extend a maintainer's package set."""
+        if self.registry is not None:
+            self.registry.grant_package(principal, oid_hex)
+
+    def add_browser(self, name: str, site: Union[str, Domain],
+                    access_point: Optional[GdnHttpd] = None) -> Browser:
+        """Add a user browser, bound to the nearest access point."""
+        host = self.world.host(name, site)
+        if access_point is None:
+            access_point = nearest_access_point(host, self.httpds)
+        browser = Browser(self.world, host, access_point,
+                          channel_wrapper=self._anonymous_wrapper())
+        self.browsers[name] = browser
+        return browser
+
+    # -- canned layouts -------------------------------------------------------------
+
+    def standard_fleet(self, gos_per_region: int = 1) -> None:
+        """One (or more) GOS+HTTPD pairs per region — the paper's
+        "machines all over the world" baseline layout."""
+        for region in self._regions():
+            sites = list(region.sites())
+            for index in range(gos_per_region):
+                site = sites[index % len(sites)]
+                name = "gos-%s-%d" % (region.name, index)
+                self.add_gos(name, site)
+                self.add_httpd("httpd-%s-%d" % (region.name, index),
+                               colocate_with=name)
+
+    def gos_by_region(self) -> Dict[str, str]:
+        """region path -> one object-server name (for ScenarioAdvisor)."""
+        mapping: Dict[str, str] = {}
+        for name, gos in sorted(self.object_servers.items()):
+            region = [d for d in gos.host.site.ancestors()][3]
+            mapping.setdefault(region.path, name)
+        return mapping
+
+    def recover_gos(self, name: str) -> None:
+        """Reboot recovery of an object-server machine (§4).
+
+        Restarts the host if needed, reconstructs the GOS's replicas
+        from stable storage, and restarts any colocated HTTPDs (whose
+        in-memory bindings died with the address space).
+        """
+        gos = self.object_servers[name]
+        host = gos.host
+        if not host.up:
+            host.restart()
+        self.run(gos.recover(), host=host)
+        for httpd in self.httpds:
+            if httpd.host is host:
+                httpd.runtime.unbind_all()
+                httpd.start()
+
+    # -- execution helpers -------------------------------------------------------
+
+    def run(self, generator: Generator, host: Optional[Host] = None,
+            limit: float = 1e7):
+        """Run a generator as a process to completion."""
+        process = (host.spawn(generator) if host is not None
+                   else self.world.sim.process(generator))
+        return self.world.run_until(process, limit=limit)
+
+    def settle(self, duration: float = 5.0) -> None:
+        """Let asynchronous machinery (pushes, transfers) drain."""
+        self.world.run(until=self.world.now + duration)
+
+    def initial_sync(self) -> None:
+        """Complete initial DNS secondary transfers."""
+        for secondary in self.dns_secondaries:
+            self.run(secondary.initial_transfers(), host=secondary.host)

@@ -1,0 +1,235 @@
+"""GDN-enabled HTTPDs (paper §4).
+
+"We use URLs that have embedded in them the name of a package DSO.
+The GDN-HTTPD extracts this object name and binds to the DSO.  The
+HTTPD then invokes the appropriate method(s) on the package DSO's newly
+created local representative.  For example, it could call
+listContents() to obtain the list of files contained in the package,
+which is subsequently reformatted into HTML … If the URL designates a
+particular file in the package, the HTTPD calls the getFileContents()
+method and sends back the returned content."
+
+URL scheme::
+
+    /gdn<object-name>                  package page (HTML listing)
+    /gdn<object-name>/files/<path>     raw file download
+
+The local representative installed during binding "may act as a
+replica for the DSO" — realised with a caching representative whose
+TTL comes from a per-object cache policy.  HTTP runs over the RPC
+framing of the simulator (one ``http`` method), with an optional
+server-authenticated TLS factory in front (Figure 4 arrow 1).
+"""
+
+from __future__ import annotations
+
+import html
+import urllib.parse
+from typing import Callable, Dict, Generator, Optional, Tuple
+
+from ..core.ids import ObjectId
+from ..core.replication.base import ReplicationError
+from ..core.runtime import BindError, Runtime
+from ..core.subobjects import RemoteInvocationError
+from ..gns.gns import GnsError
+from ..sim.rpc import RpcContext, RpcFault, RpcServer, RpcTimeout
+from ..sim.transport import Host, TransportError
+from ..sim.world import World
+
+#: Failures that mean "the replica I bound to is gone or unreachable"
+#: — worth one rebind-and-retry before giving up.
+_REBINDABLE = (ReplicationError, RpcFault, RpcTimeout, TransportError)
+
+__all__ = ["GdnHttpd", "HTTP_PORT", "parse_gdn_url", "render_listing"]
+
+HTTP_PORT = 8080
+
+#: Default freshness window for HTTPD-side caching representatives.
+DEFAULT_CACHE_TTL = 300.0
+
+
+def parse_gdn_url(path: str) -> Tuple[str, Optional[str]]:
+    """Split a GDN URL path into (object name, optional file path).
+
+    >>> parse_gdn_url("/gdn/apps/graphics/Gimp/files/bin/gimp")
+    ('/apps/graphics/Gimp', 'bin/gimp')
+    """
+    if not path.startswith("/gdn/"):
+        raise ValueError("not a GDN URL: %r" % path)
+    rest = path[len("/gdn"):]
+    if "/files/" in rest:
+        object_name, _sep, file_path = rest.partition("/files/")
+        return object_name, file_path
+    return rest.rstrip("/"), None
+
+
+def render_listing(object_name: str, entries: list) -> str:
+    """Reformat a listContents() result into an HTML page (§4)."""
+    rows = "\n".join(
+        "<tr><td><a href=\"/gdn%s/files/%s\">%s</a></td>"
+        "<td align=\"right\">%d</td></tr>"
+        % (html.escape(object_name), html.escape(entry["path"]),
+           html.escape(entry["path"]), entry["size"])
+        for entry in entries)
+    return (
+        "<html><head><title>GDN: %s</title></head><body>\n"
+        "<h1>Package %s</h1>\n"
+        "<table><tr><th>File</th><th>Size</th></tr>\n%s\n</table>\n"
+        "<p><i>Served by the Globe Distribution Network</i></p>"
+        "</body></html>"
+        % (html.escape(object_name), html.escape(object_name), rows))
+
+
+class GdnHttpd:
+    """A GDN-enabled HTTP daemon bound to one host."""
+
+    def __init__(self, world: World, host: Host, runtime: Runtime,
+                 name_service, port: int = HTTP_PORT,
+                 channel_factory: Optional[Callable] = None,
+                 cache_policy: Optional[Callable[[str],
+                                                 Optional[float]]] = None,
+                 is_gdn_host: bool = True,
+                 search_endpoint: Optional[Tuple[str, int]] = None,
+                 concurrency: Optional[int] = None,
+                 service_time: float = 0.0):
+        """``cache_policy(object_name)`` returns the cache TTL for a
+        package (None = bind as a pure client proxy).  ``is_gdn_host``
+        is False for GDN-proxy servers running on user machines (§4) —
+        functionally identical, but they hold no GDN credentials, so
+        object servers treat them as anonymous users."""
+        self.world = world
+        self.host = host
+        self.runtime = runtime
+        self.name_service = name_service
+        self.port = port
+        self.channel_factory = channel_factory
+        self.cache_policy = cache_policy or (lambda _name: DEFAULT_CACHE_TTL)
+        self.is_gdn_host = is_gdn_host
+        self.search_endpoint = (tuple(search_endpoint)
+                                if search_endpoint else None)
+        #: Finite-capacity serving: worker pool size and per-request
+        #: CPU time (§3.1: multiple machines are needed for load).
+        self.concurrency = concurrency
+        self.service_time = service_time
+        self._server: Optional[RpcServer] = None
+        self.requests_served = 0
+        self.bytes_served = 0
+        self.errors = 0
+
+    def start(self) -> None:
+        server = RpcServer(self.host, self.port,
+                           channel_factory=self.channel_factory,
+                           concurrency=self.concurrency,
+                           service_time=self.service_time)
+        server.register("http", self._handle_http)
+        server.start()
+        self._server = server
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+
+    # -- request handling ------------------------------------------------------
+
+    def _handle_http(self, ctx: RpcContext, args: dict) -> Generator:
+        self.requests_served += 1
+        method = args.get("method", "GET")
+        path = args.get("path", "/")
+        if method != "GET":
+            self.errors += 1
+            return _response(405, "method not allowed")
+        if path.startswith("/gdn-search"):
+            reply = yield from self._handle_search(path)
+            return reply
+        try:
+            object_name, file_path = parse_gdn_url(path)
+        except ValueError:
+            self.errors += 1
+            return _response(404, "not a GDN URL: %s" % path)
+        try:
+            oid_hex = yield from self.name_service.resolve(object_name)
+        except GnsError:
+            self.errors += 1
+            return _response(404, "unknown package %s" % object_name)
+        oid = ObjectId.from_hex(oid_hex)
+        ttl = self.cache_policy(object_name)
+        if file_path is None:
+            method, args = "listContents", {}
+        else:
+            method, args = "getFileContents", {"path": file_path}
+        try:
+            value = yield from self._invoke_with_rebind(oid, ttl, method,
+                                                        args)
+        except BindError:
+            self.errors += 1
+            return _response(503, "package currently unreachable")
+        except _REBINDABLE:
+            self.errors += 1
+            return _response(503, "package replicas unreachable")
+        except RemoteInvocationError:
+            self.errors += 1
+            return _response(404, "no file %s in %s"
+                             % (file_path, object_name))
+        if file_path is None:
+            body = render_listing(object_name, value)
+            self.bytes_served += len(body)
+            return _response(200, body, content_type="text/html")
+        self.bytes_served += len(value)
+        return _response(200, value,
+                         content_type="application/octet-stream")
+
+    def _handle_search(self, path: str) -> Generator:
+        """Attribute-based search (§8): ``/gdn-search?category=graphics``.
+
+        Queries the search service and renders matching packages as a
+        page of links into the GDN namespace.
+        """
+        if self.search_endpoint is None:
+            self.errors += 1
+            return _response(503, "no search service configured")
+        parsed = urllib.parse.urlparse(path)
+        query = {key: values[0] for key, values
+                 in urllib.parse.parse_qs(parsed.query).items()}
+        from ..sim import rpc as _rpc
+        host_name, port = self.search_endpoint
+        target = self.world.hosts[host_name]
+        try:
+            reply = yield from _rpc.call(
+                self.host, target, port, "search", {"query": query},
+                channel_wrapper=self.runtime.channel_wrapper)
+        except _rpc.RpcError:
+            self.errors += 1
+            return _response(503, "search service unreachable")
+        matches = reply.get("matches", [])
+        items = "\n".join(
+            "<li><a href=\"/gdn%s\">%s</a></li>"
+            % (html.escape(name), html.escape(name)) for name in matches)
+        body = ("<html><head><title>GDN search</title></head><body>\n"
+                "<h1>%d package(s) matching %s</h1>\n<ul>\n%s\n</ul>"
+                "</body></html>"
+                % (len(matches), html.escape(repr(query)), items))
+        self.bytes_served += len(body)
+        return _response(200, body, content_type="text/html")
+
+    def _invoke_with_rebind(self, oid, ttl, method: str,
+                            args: dict) -> Generator:
+        """Invoke through the (possibly cached) binding; on transport
+        or replication failure, rebind once via a fresh GLS lookup and
+        retry — the replica may have moved or been removed (§3.4
+        bindings are soft state)."""
+        representative = yield from self.runtime.bind(oid, cache_ttl=ttl)
+        try:
+            value = yield from representative.invoke(method, args)
+            return value
+        except _REBINDABLE:
+            representative = yield from self.runtime.bind(
+                oid, cache_ttl=ttl, refresh=True)
+            value = yield from representative.invoke(method, args)
+            return value
+
+
+def _response(status: int, body, content_type: str = "text/plain") -> dict:
+    return {"status": status, "body": body,
+            "headers": {"content-type": content_type,
+                        "server": "GDN-HTTPD/1.0"}}

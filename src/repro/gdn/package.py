@@ -1,0 +1,188 @@
+"""The package DSO: semantics subobject for software packages (§2, §4).
+
+"All data stored in the GDN is stored in distributed shared objects …
+every software package is contained in a package DSO."  A package is a
+named collection of files, possibly large.  Method names follow the
+paper's API (``listContents``, ``getFileContents``, …) rather than
+PEP 8, because they are part of the reproduced interface.
+
+Beyond the paper's minimum (add/list/retrieve), the semantics include
+the two "possible functional additions" from §8 in simple form:
+attribute-based search support via package attributes, and version
+management via a monotonically increasing content version plus
+per-file digests (which also serve the §6.1 integrity requirement —
+users can verify what they downloaded).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Tuple
+
+from ..core.idl import mutating, read_only
+from ..core.subobjects import SemanticsSubobject
+
+__all__ = ["PackageSemantics", "PACKAGE_IMPL_ID", "HISTORY_RETENTION"]
+
+#: Implementation-repository id for the package DSO implementation.
+PACKAGE_IMPL_ID = "gdn.package"
+
+#: How many superseded file contents are retained for restoreFile
+#: (§8's version-management facility, bounded so state stays small).
+HISTORY_RETENTION = 8
+
+
+class PackageSemantics(SemanticsSubobject):
+    """Files + metadata of one distributable software package."""
+
+    def __init__(self):
+        self._files: Dict[str, bytes] = {}
+        self._attributes: Dict[str, str] = {}
+        self._content_version = 0
+        #: Op log: one entry per mutation (version, op, path, digest).
+        self._history: List[dict] = []
+        #: Superseded contents, keyed "path@version", bounded FIFO.
+        self._retained: Dict[str, bytes] = {}
+        self._retained_order: List[str] = []
+
+    # -- version management (§8 future work, implemented) --------------------
+
+    def _log(self, op: str, path: str, data: Optional[bytes]) -> None:
+        self._content_version += 1
+        entry = {"version": self._content_version, "op": op, "path": path}
+        if data is not None:
+            entry["size"] = len(data)
+            entry["digest"] = hashlib.sha256(data).hexdigest()
+        self._history.append(entry)
+
+    def _retain(self, path: str, data: bytes, version: int) -> None:
+        """Keep contents superseded *by* mutation ``version``, bounded."""
+        key = "%s@%d" % (path, version)
+        self._retained[key] = data
+        self._retained_order.append(key)
+        while len(self._retained_order) > HISTORY_RETENTION:
+            evicted = self._retained_order.pop(0)
+            self._retained.pop(evicted, None)
+
+    # -- modification (moderator/maintainer-only by GDN policy) ---------------
+
+    @mutating
+    def addFile(self, path: str, data: bytes) -> int:
+        """Add or replace a file; returns the new content version."""
+        if not path or path.startswith("/"):
+            raise ValueError("file paths are relative, got %r" % path)
+        if not isinstance(data, bytes):
+            raise ValueError("file contents must be bytes")
+        previous = self._files.get(path)
+        self._files[path] = data
+        self._log("add", path, data)
+        if previous is not None:
+            self._retain(path, previous, self._content_version)
+        return self._content_version
+
+    @mutating
+    def delFile(self, path: str) -> bool:
+        """Remove a file; True if it existed."""
+        previous = self._files.pop(path, None)
+        if previous is None:
+            return False
+        self._log("del", path, None)
+        self._retain(path, previous, self._content_version)
+        return True
+
+    @mutating
+    def restoreFile(self, path: str, version: int) -> int:
+        """Restore a file to its contents as of just before ``version``.
+
+        ``version`` names the mutation that superseded the wanted
+        contents (as listed by ``getHistory``).  Only the last few
+        superseded contents are retained; restoring anything older
+        raises.  The restore itself is a new versioned write.
+        """
+        key = "%s@%d" % (path, version)
+        data = self._retained.get(key)
+        if data is None:
+            raise KeyError("no retained contents for %s at version %d"
+                           % (path, version))
+        return self.addFile(path, data)
+
+    @mutating
+    def setAttribute(self, key: str, value: str) -> None:
+        """Set a searchable package attribute (e.g. ``category``)."""
+        self._attributes[key] = value
+        self._log("attr", key, None)
+
+    # -- retrieval (open to all GDN users) -------------------------------------
+
+    @read_only
+    def listContents(self) -> List[dict]:
+        """Names and sizes of the files in the package."""
+        return [{"path": path, "size": len(data)}
+                for path, data in sorted(self._files.items())]
+
+    @read_only
+    def getFileContents(self, path: str) -> bytes:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise KeyError("no file %r in this package" % path) from None
+
+    @read_only
+    def getFileDigest(self, path: str) -> str:
+        """SHA-256 of a file — lets users check download integrity."""
+        return hashlib.sha256(self.getFileContents(path)).hexdigest()
+
+    @read_only
+    def getAttribute(self, key: str) -> Optional[str]:
+        return self._attributes.get(key)
+
+    @read_only
+    def getAttributes(self) -> Dict[str, str]:
+        return dict(self._attributes)
+
+    @read_only
+    def getVersion(self) -> int:
+        return self._content_version
+
+    @read_only
+    def getHistory(self) -> List[dict]:
+        """The mutation log: version, operation, path, size, digest."""
+        return [dict(entry) for entry in self._history]
+
+    @read_only
+    def totalSize(self) -> int:
+        return sum(len(data) for data in self._files.values())
+
+    # -- state management (replication / persistence) -----------------------------
+
+    def snapshot_state(self) -> dict:
+        return {
+            "files": dict(self._files),
+            "attributes": dict(self._attributes),
+            "version": self._content_version,
+            "history": [dict(entry) for entry in self._history],
+            "retained": dict(self._retained),
+            "retained_order": list(self._retained_order),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._files = dict(state["files"])
+        self._attributes = dict(state.get("attributes", {}))
+        self._content_version = state.get("version", 0)
+        self._history = [dict(entry) for entry in state.get("history", [])]
+        self._retained = dict(state.get("retained", {}))
+        self._retained_order = list(state.get("retained_order", []))
+
+    def replication_state(self) -> dict:
+        """State shipped to slaves and caches.
+
+        Excludes the retained (superseded) file contents: they exist to
+        serve ``restoreFile``, which is a *write* and therefore always
+        executes at the master — slaves never need them, and shipping
+        them would multiply every state transfer by the retention
+        depth.
+        """
+        state = self.snapshot_state()
+        state["retained"] = {}
+        state["retained_order"] = []
+        return state

@@ -1,0 +1,42 @@
+"""Registration authentication for the GLS (paper §6.1 / §6.3).
+
+Security requirement 2: "The Globe Location Service should accept only
+object registrations (and deregistrations) from Globe Object Servers
+which are officially part of the GDN."  The GLS runs over UDP, so the
+TLS scheme cannot protect it (§6.3); the paper leaves the GLS-specific
+scheme open.  We implement the obvious candidate: a shared-key HMAC
+over a canonical rendering of each mutating request, verified by every
+directory node configured with the GDN key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from typing import Optional
+
+__all__ = ["sign_mutation", "verify_mutation"]
+
+
+def _canonical(operation: str, oid_hex: str, ca_wire: dict) -> bytes:
+    fields = "|".join("%s=%s" % (key, ca_wire[key])
+                      for key in sorted(ca_wire))
+    return ("%s|%s|%s" % (operation, oid_hex, fields)).encode("utf-8")
+
+
+def sign_mutation(key: bytes, operation: str, oid_hex: str,
+                  ca_wire: dict) -> str:
+    """Authentication tag for an insert/delete request."""
+    return hmac.new(key, _canonical(operation, oid_hex, ca_wire),
+                    hashlib.sha256).hexdigest()
+
+
+def verify_mutation(key: Optional[bytes], operation: str, oid_hex: str,
+                    ca_wire: dict, tag: Optional[str]) -> bool:
+    """Check a request tag; trivially true when no key is configured."""
+    if key is None:
+        return True
+    if not tag:
+        return False
+    expected = sign_mutation(key, operation, oid_hex, ca_wire)
+    return hmac.compare_digest(expected, tag)

@@ -1,0 +1,235 @@
+"""Authoritative DNS servers: queries, dynamic update, NOTIFY/AXFR.
+
+One server process can host several zones, as primary (accepting
+RFC 2136 dynamic updates, TSIG-verified, and notifying secondaries) or
+as secondary (fetching the zone by transfer when notified — how the
+paper's GDN Zone "distribute[s] the load by creating multiple
+authoritative name servers", §5).
+
+Protocol methods (datagram RPC on port 53):
+
+* ``query``  — {name, type} → {rcode, answers, referral, authoritative}
+* ``update`` — {zone, adds, deletes, tsig} → {rcode, serial}
+* ``notify`` — {zone, serial}: secondary schedules a transfer
+* ``axfr``   — {zone} → full zone contents
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from ...sim.rpc import RpcContext, UdpRpcClient, UdpRpcServer
+from ...sim.transport import Host
+from ...sim.world import World
+from .records import RRType, ResourceRecord, is_subdomain, normalize_name
+from .tsig import TsigKeyring, verify_message
+from .zone import Rcode, Zone
+
+__all__ = ["AuthoritativeServer", "DNS_PORT"]
+
+DNS_PORT = 53
+
+
+class AuthoritativeServer:
+    """A DNS server daemon hosting primary and secondary zones."""
+
+    def __init__(self, world: World, host: Host, port: int = DNS_PORT,
+                 keyring: Optional[TsigKeyring] = None,
+                 require_tsig_for_updates: bool = True,
+                 refresh_interval: Optional[float] = None):
+        """``refresh_interval`` adds classic SOA-style periodic zone
+        refresh for secondaries, catching updates whose NOTIFY was
+        lost (UDP)."""
+        self.world = world
+        self.host = host
+        self.port = port
+        self.keyring = keyring
+        self.require_tsig_for_updates = require_tsig_for_updates
+        self.refresh_interval = refresh_interval
+        self.zones: Dict[str, Zone] = {}
+        self.roles: Dict[str, str] = {}
+        #: primary zones: origin -> secondary endpoints to NOTIFY.
+        self.secondaries: Dict[str, List[Tuple[str, int]]] = {}
+        #: secondary zones: origin -> primary endpoint for AXFR.
+        self.primary_endpoint: Dict[str, Tuple[str, int]] = {}
+        self._server: Optional[UdpRpcServer] = None
+        self._client: Optional[UdpRpcClient] = None
+        self.queries_served = 0
+        self.updates_applied = 0
+        self.updates_rejected = 0
+        self.transfers_served = 0
+        self.transfers_fetched = 0
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def start(self) -> None:
+        server = UdpRpcServer(self.host, self.port)
+        server.register("query", self._handle_query)
+        server.register("update", self._handle_update)
+        server.register("notify", self._handle_notify)
+        server.register("axfr", self._handle_axfr)
+        server.start()
+        self._server = server
+        self._client = UdpRpcClient(self.host, timeout=3.0, retries=2)
+        if self.refresh_interval is not None:
+            self.host.spawn(self._refresh_loop())
+
+    def _refresh_loop(self) -> Generator:
+        """Periodically re-check each secondary zone against its
+        primary's serial (cheap when nothing changed)."""
+        while True:
+            yield self.world.sim.timeout(self.refresh_interval)
+            for origin, role in list(self.roles.items()):
+                if role != "secondary":
+                    continue
+                current = self.zones.get(origin)
+                endpoint = self.primary_endpoint[origin]
+                target = self.world.hosts.get(endpoint[0])
+                if target is None or not target.up:
+                    continue
+                try:
+                    reply = yield from self._client.call(
+                        target, endpoint[1], "axfr", {"zone": origin})
+                except Exception:  # noqa: BLE001 - retried next round
+                    continue
+                if reply.get("rcode") != Rcode.NOERROR:
+                    continue
+                fetched = Zone.from_wire(reply["zone"])
+                if current is None or fetched.serial > current.serial:
+                    self.zones[origin] = fetched
+                    self.transfers_fetched += 1
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.stop()
+            self._server = None
+        if self._client is not None:
+            self._client.close()
+            self._client = None
+
+    @property
+    def endpoint(self) -> Tuple[str, int]:
+        return (self.host.name, self.port)
+
+    # -- zone configuration -------------------------------------------------------
+
+    def add_primary_zone(self, zone: Zone,
+                         secondaries: Optional[List[Tuple[str, int]]] = None
+                         ) -> None:
+        self.zones[zone.origin] = zone
+        self.roles[zone.origin] = "primary"
+        self.secondaries[zone.origin] = list(secondaries or [])
+
+    def add_secondary_zone(self, origin: str,
+                           primary: Tuple[str, int]) -> None:
+        """Declare a secondary zone; the initial copy is fetched when
+        the simulation runs (call :meth:`initial_transfers`)."""
+        origin = normalize_name(origin)
+        self.roles[origin] = "secondary"
+        self.primary_endpoint[origin] = tuple(primary)
+
+    def initial_transfers(self) -> Generator:
+        """Fetch initial copies of all secondary zones."""
+        for origin, role in self.roles.items():
+            if role == "secondary" and origin not in self.zones:
+                yield from self._fetch_zone(origin)
+
+    # -- query handling ---------------------------------------------------------
+
+    def _zone_for(self, qname: str) -> Optional[Zone]:
+        """The most specific hosted zone containing ``qname``."""
+        best: Optional[Zone] = None
+        for origin, zone in self.zones.items():
+            if is_subdomain(qname, origin):
+                if best is None or len(origin) > len(best.origin):
+                    best = zone
+        return best
+
+    def _handle_query(self, ctx: RpcContext, args: dict) -> dict:
+        self.queries_served += 1
+        qname = normalize_name(args.get("name", ""))
+        qtype = RRType(args.get("type", "A"))
+        zone = self._zone_for(qname)
+        if zone is None:
+            return {"rcode": Rcode.REFUSED, "answers": [], "referral": [],
+                    "authoritative": False}
+        answer = zone.answer(qname, qtype)
+        return {
+            "rcode": answer.rcode,
+            "answers": [record.to_wire() for record in answer.answers],
+            "referral": [record.to_wire() for record in answer.referral],
+            "authoritative": answer.authoritative,
+            "zone": zone.origin,
+        }
+
+    # -- dynamic update (RFC 2136) ---------------------------------------------
+
+    def _handle_update(self, ctx: RpcContext, args: dict) -> dict:
+        origin = normalize_name(args.get("zone", ""))
+        zone = self.zones.get(origin)
+        if zone is None or self.roles.get(origin) != "primary":
+            self.updates_rejected += 1
+            return {"rcode": Rcode.NOTAUTH}
+        if self.require_tsig_for_updates:
+            if self.keyring is None or not verify_message(args, self.keyring):
+                self.updates_rejected += 1
+                return {"rcode": Rcode.BADSIG}
+        for delete in args.get("deletes", []):
+            zone.remove_rrset(delete["name"], RRType(delete["type"]))
+        for add in args.get("adds", []):
+            zone.add_record(ResourceRecord.from_wire(add))
+        serial = zone.bump_serial()
+        self.updates_applied += 1
+        for endpoint in self.secondaries.get(origin, []):
+            self.host.spawn(self._notify_one(endpoint, origin, serial))
+        return {"rcode": Rcode.NOERROR, "serial": serial}
+
+    def _notify_one(self, endpoint: Tuple[str, int], origin: str,
+                    serial: int) -> Generator:
+        host_name, port = endpoint
+        target = self.world.hosts.get(host_name)
+        if target is None:
+            return
+        try:
+            yield from self._client.call(target, port, "notify",
+                                         {"zone": origin, "serial": serial})
+        except Exception:  # noqa: BLE001 - notify is best-effort
+            pass
+
+    # -- NOTIFY / AXFR ----------------------------------------------------------
+
+    def _handle_notify(self, ctx: RpcContext, args: dict) -> Generator:
+        origin = normalize_name(args.get("zone", ""))
+        if self.roles.get(origin) != "secondary":
+            return {"rcode": Rcode.NOTAUTH}
+        current = self.zones.get(origin)
+        if current is not None and current.serial >= args.get("serial", 0):
+            return {"rcode": Rcode.NOERROR, "refreshed": False}
+        yield from self._fetch_zone(origin)
+        return {"rcode": Rcode.NOERROR, "refreshed": True}
+
+    def _handle_axfr(self, ctx: RpcContext, args: dict) -> dict:
+        origin = normalize_name(args.get("zone", ""))
+        zone = self.zones.get(origin)
+        if zone is None:
+            return {"rcode": Rcode.NOTAUTH}
+        self.transfers_served += 1
+        return {"rcode": Rcode.NOERROR, "zone": zone.to_wire()}
+
+    def _fetch_zone(self, origin: str) -> Generator:
+        host_name, port = self.primary_endpoint[origin]
+        target = self.world.hosts.get(host_name)
+        if target is None:
+            return
+        try:
+            reply = yield from self._client.call(target, port, "axfr",
+                                                 {"zone": origin})
+        except Exception:  # noqa: BLE001 - retried on next NOTIFY
+            return
+        if reply.get("rcode") != Rcode.NOERROR:
+            return
+        fetched = Zone.from_wire(reply["zone"])
+        current = self.zones.get(origin)
+        if current is None or fetched.serial > current.serial:
+            self.zones[origin] = fetched
+            self.transfers_fetched += 1

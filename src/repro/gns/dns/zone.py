@@ -1,0 +1,161 @@
+"""DNS zones: authoritative data plus delegation logic.
+
+A zone owns all names at or under its origin except those it has
+delegated away with NS records.  ``answer`` implements the
+authoritative lookup algorithm the servers use: exact answer, CNAME
+chain start, referral at a zone cut, NODATA, or NXDOMAIN.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .records import (DnsError, RRType, ResourceRecord, is_subdomain,
+                      normalize_name, parent_name)
+
+__all__ = ["Zone", "Rcode", "ZoneAnswer"]
+
+
+class Rcode:
+    """Response codes (the subset we need)."""
+
+    NOERROR = "NOERROR"
+    NXDOMAIN = "NXDOMAIN"
+    REFUSED = "REFUSED"
+    NOTAUTH = "NOTAUTH"
+    BADSIG = "BADSIG"
+
+
+class ZoneAnswer:
+    """Result of an authoritative lookup inside one zone."""
+
+    def __init__(self, rcode: str, answers: List[ResourceRecord],
+                 referral: Optional[List[ResourceRecord]] = None,
+                 authoritative: bool = True):
+        self.rcode = rcode
+        self.answers = answers
+        #: NS records of a child zone when the name was delegated away.
+        self.referral = referral or []
+        self.authoritative = authoritative
+
+    @property
+    def is_referral(self) -> bool:
+        return bool(self.referral)
+
+
+class Zone:
+    """Authoritative data for one DNS zone."""
+
+    def __init__(self, origin: str, primary_host: str,
+                 default_ttl: int = 300, serial: int = 1):
+        self.origin = normalize_name(origin)
+        self.primary_host = primary_host
+        self.default_ttl = default_ttl
+        self.serial = serial
+        self._records: Dict[Tuple[str, str], List[ResourceRecord]] = {}
+
+    def __repr__(self) -> str:
+        return "Zone(%r, serial=%d)" % (self.origin or ".", self.serial)
+
+    # -- record management ----------------------------------------------------
+
+    def _check_in_zone(self, name: str) -> str:
+        name = normalize_name(name)
+        if not is_subdomain(name, self.origin):
+            raise DnsError("%r is outside zone %r" % (name, self.origin))
+        return name
+
+    def add_record(self, record: ResourceRecord) -> None:
+        self._check_in_zone(record.name)
+        rrset = self._records.setdefault(record.key(), [])
+        if record not in rrset:
+            rrset.append(record)
+
+    def remove_rrset(self, name: str, rtype: RRType) -> bool:
+        name = self._check_in_zone(name)
+        return self._records.pop((name, RRType(rtype).value), None) is not None
+
+    def remove_record(self, record: ResourceRecord) -> bool:
+        rrset = self._records.get(record.key())
+        if not rrset or record not in rrset:
+            return False
+        rrset.remove(record)
+        if not rrset:
+            del self._records[record.key()]
+        return True
+
+    def rrset(self, name: str, rtype: RRType) -> List[ResourceRecord]:
+        name = normalize_name(name)
+        return list(self._records.get((name, RRType(rtype).value), []))
+
+    def names(self) -> set:
+        return {name for name, _rtype in self._records}
+
+    def record_count(self) -> int:
+        return sum(len(rrset) for rrset in self._records.values())
+
+    def bump_serial(self) -> int:
+        self.serial += 1
+        return self.serial
+
+    # -- authoritative lookup -------------------------------------------------
+
+    def _find_zone_cut(self, qname: str) -> Optional[str]:
+        """The delegation point covering ``qname``, if any.
+
+        A name is delegated away when an NS rrset exists at an ancestor
+        of ``qname`` that lies strictly below this zone's origin.
+        """
+        name = qname
+        while name != self.origin:
+            if (name, RRType.NS.value) in self._records:
+                return name
+            if not name:
+                break
+            name = parent_name(name)
+            if not is_subdomain(name, self.origin):
+                break
+        return None
+
+    def answer(self, qname: str, qtype: RRType) -> ZoneAnswer:
+        """Answer a query for a name inside this zone."""
+        qname = normalize_name(qname)
+        if not is_subdomain(qname, self.origin):
+            return ZoneAnswer(Rcode.REFUSED, [])
+        cut = self._find_zone_cut(qname)
+        if cut is not None:
+            return ZoneAnswer(Rcode.NOERROR, [],
+                              referral=self.rrset(cut, RRType.NS),
+                              authoritative=False)
+        exact = self.rrset(qname, qtype)
+        if exact:
+            return ZoneAnswer(Rcode.NOERROR, exact)
+        cname = self.rrset(qname, RRType.CNAME)
+        if cname and qtype != RRType.CNAME:
+            return ZoneAnswer(Rcode.NOERROR, cname)
+        if qname in self.names():
+            return ZoneAnswer(Rcode.NOERROR, [])  # NODATA
+        return ZoneAnswer(Rcode.NXDOMAIN, [])
+
+    # -- zone transfer ----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """Full zone contents (AXFR payload)."""
+        return {
+            "origin": self.origin,
+            "primary": self.primary_host,
+            "serial": self.serial,
+            "default_ttl": self.default_ttl,
+            "records": [record.to_wire()
+                        for rrset in self._records.values()
+                        for record in rrset],
+        }
+
+    @classmethod
+    def from_wire(cls, wire: dict) -> "Zone":
+        zone = cls(wire["origin"], wire["primary"],
+                   default_ttl=wire.get("default_ttl", 300),
+                   serial=wire["serial"])
+        for record_wire in wire.get("records", []):
+            zone.add_record(ResourceRecord.from_wire(record_wire))
+        return zone

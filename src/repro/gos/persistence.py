@@ -1,0 +1,24 @@
+"""Stable storage binding for Globe Object Servers (paper §4).
+
+"Globe Object Servers allow replicas to save their state during a
+reboot and reconstruct themselves afterwards."  This module binds the
+generic simulated disk (:mod:`repro.sim.stable`) under the ``gos``
+namespace.
+"""
+
+from __future__ import annotations
+
+from ..sim.stable import (DISK_READ_LATENCY, DISK_WRITE_LATENCY, DiskStore,
+                          StableStore)
+from ..sim.world import World
+
+__all__ = ["DiskStore", "GosPersistence", "DISK_WRITE_LATENCY",
+           "DISK_READ_LATENCY"]
+
+
+class GosPersistence(StableStore):
+    """One object server's view of its host's disk."""
+
+    def __init__(self, world: World, store: DiskStore, host_name: str,
+                 namespace: str = "gos"):
+        super().__init__(world, store, host_name, namespace)

@@ -1,0 +1,488 @@
+"""Discrete-event simulation kernel.
+
+Everything in this reproduction runs on top of this kernel: hosts,
+protocol daemons, replication subobjects, DNS servers, and clients are
+all *processes* — Python generators that ``yield`` :class:`Event`
+instances and are resumed when those events fire.
+
+The design follows the classic process-interaction style (as in SimPy),
+but is deliberately small and fully deterministic:
+
+* Events fire in ``(time, sequence-number)`` order; two events scheduled
+  for the same instant fire in the order they were scheduled.
+* No wall-clock time or OS randomness is consulted anywhere.  All
+  stochastic behaviour in higher layers draws from seeded
+  ``random.Random`` instances owned by the simulation world.
+
+Typical use::
+
+    sim = Simulator()
+
+    def ping(sim):
+        yield sim.timeout(1.0)
+        return "pong"
+
+    proc = sim.process(ping(sim))
+    sim.run()
+    assert proc.value == "pong"
+    assert sim.now == 1.0
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Event",
+    "Timeout",
+    "Process",
+    "AnyOf",
+    "AllOf",
+    "Store",
+    "Resource",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :meth:`Process.interrupt`.
+
+    The ``cause`` attribute carries the value passed to ``interrupt``.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+_PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; at some point it is *triggered* either
+    successfully (``succeed``) with a value, or with a failure
+    (``fail``) carrying an exception.  Triggering schedules all
+    registered callbacks to run at the current simulation time.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: Optional[list] = []
+        self._value: Any = _PENDING
+        self._ok: Optional[bool] = None
+        # A failure that nobody waits on should not pass silently; the
+        # simulator surfaces unhandled failures when it processes them.
+        self._defused = False
+
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value (even if not yet processed)."""
+        return self._value is not _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        if self._ok is None:
+            raise SimulationError("event has not been triggered yet")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise SimulationError("event has not been triggered yet")
+        if not self._ok:
+            raise self._value
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._enqueue(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with a failure carrying ``exception``."""
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError("fail() requires an exception instance")
+        self._ok = False
+        self._value = exception
+        self.sim._enqueue(self)
+        return self
+
+    def add_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Run ``callback(event)`` when the event is processed.
+
+        If the event was already processed the callback runs at the
+        current simulation time (via a zero-delay bridge event), which
+        keeps `yield already_fired_event` well-defined.
+        """
+        if self.callbacks is not None:
+            self.callbacks.append(callback)
+        else:
+            bridge = Event(self.sim)
+            bridge.add_callback(lambda _e: callback(self))
+            if self._ok:
+                bridge.succeed(self._value)
+            else:
+                self._defused = True
+                bridge._defused = True
+                bridge.fail(self._value)
+
+    def defuse(self) -> None:
+        """Mark a failure as handled so the simulator will not re-raise."""
+        self._defused = True
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation.
+
+    Unlike manually triggered events, a timeout stays *untriggered*
+    until the simulator processes it (so composites like ``AnyOf`` see
+    pending timers as pending); the stored value is attached when it
+    fires.
+    """
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError("negative delay: %r" % (delay,))
+        super().__init__(sim)
+        self.delay = delay
+        self._auto_value = value
+        sim._enqueue(self, delay)
+
+    def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+    def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
+        raise SimulationError("Timeout events trigger themselves")
+
+
+class Process(Event):
+    """A running generator; also an event that fires when it finishes.
+
+    The generator must yield :class:`Event` instances.  When a yielded
+    event succeeds, the process resumes with the event's value; when it
+    fails, the exception is thrown into the generator.  The process
+    event itself succeeds with the generator's return value, or fails
+    with its uncaught exception.
+    """
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        super().__init__(sim)
+        if not hasattr(generator, "send"):
+            raise SimulationError("process() requires a generator")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off at the current instant.
+        start = Event(sim)
+        start.add_callback(self._resume)
+        start.succeed()
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time.
+
+        Interrupting a finished process is an error; interrupting a
+        process twice before it handles the first interrupt is allowed
+        (both are delivered in order).
+        """
+        if not self.alive:
+            raise SimulationError("cannot interrupt a finished process")
+        bridge = Event(self.sim)
+        bridge._defused = True
+        bridge.add_callback(self._deliver_interrupt)
+        bridge.fail(Interrupt(cause))
+
+    def kill(self) -> None:
+        """Terminate the process immediately without resuming it.
+
+        Used by failure injection (host crashes): the generator is
+        closed, pending waits are abandoned, and the process event
+        succeeds with ``None`` so waiters are released.
+        """
+        if not self.alive:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._generator.close()
+        self.succeed(None)
+
+    def _deliver_interrupt(self, bridge: Event) -> None:
+        if not self.alive:
+            return
+        waiting = self._waiting_on
+        if waiting is not None and waiting.callbacks is not None:
+            try:
+                waiting.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        self._step(bridge)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        self._step(event)
+
+    def _step(self, event: Event) -> None:
+        if self.triggered:
+            return
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                event._defused = True
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            error = SimulationError(
+                "process yielded %r, expected an Event" % (target,))
+            self._generator.close()
+            self.fail(error)
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AnyOf / AllOf composite events."""
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._events = list(events)
+        self._fired = 0
+        for event in self._events:
+            if event.sim is not sim:
+                raise SimulationError("events belong to different simulators")
+            event.add_callback(self._on_fire)
+        if not self._events:
+            self.succeed({})
+
+    def _done(self) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _on_fire(self, event: Event) -> None:
+        if self.triggered:
+            if not event._ok:
+                event._defused = True
+            return
+        self._fired += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+            return
+        if self._done():
+            results = {
+                ev: ev._value for ev in self._events
+                if ev.triggered and ev._ok
+            }
+            self.succeed(results)
+
+
+class AnyOf(_Condition):
+    """Fires when the first of ``events`` fires."""
+
+    def _done(self) -> bool:
+        return self._fired >= 1
+
+
+class AllOf(_Condition):
+    """Fires when all of ``events`` have fired."""
+
+    def _done(self) -> bool:
+        return self._fired >= len(self._events)
+
+
+class Store:
+    """An unbounded FIFO queue connecting producer and consumer processes.
+
+    ``put`` never blocks; ``get`` returns an event that fires when an
+    item is available.  Items are delivered in FIFO order to getters in
+    FIFO order, which keeps message channels deterministic.
+    """
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._items: list = []
+        self._getters: list[Event] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> None:
+        self._items.append(item)
+        self._dispatch()
+
+    def get(self) -> Event:
+        event = Event(self.sim)
+        self._getters.append(event)
+        self._dispatch()
+        return event
+
+    def _dispatch(self) -> None:
+        while self._items and self._getters:
+            getter = self._getters.pop(0)
+            if getter.triggered:
+                continue
+            getter.succeed(self._items.pop(0))
+
+
+class Resource:
+    """A counting semaphore for modelling limited server concurrency.
+
+    ``acquire`` returns an event that fires when a slot is free;
+    ``release`` frees a slot.  Waiters are served FIFO.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1):
+        if capacity < 1:
+            raise SimulationError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: list[Event] = []
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> Event:
+        event = Event(self.sim)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            event.succeed()
+        else:
+            self._waiters.append(event)
+        return event
+
+    def release(self) -> None:
+        if self._in_use <= 0:
+            raise SimulationError("release() without acquire()")
+        while self._waiters:
+            waiter = self._waiters.pop(0)
+            if waiter.triggered:
+                continue
+            waiter.succeed()
+            return
+        self._in_use -= 1
+
+
+class Simulator:
+    """The event loop: a priority queue of triggered events."""
+
+    def __init__(self):
+        self.now: float = 0.0
+        self._heap: list = []
+        self._sequence = itertools.count()
+        self._event_count = 0
+
+    # -- scheduling ---------------------------------------------------
+
+    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(
+            self._heap, (self.now + delay, next(self._sequence), event))
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event firing ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it manually)."""
+        return Event(self)
+
+    def process(self, generator: Generator) -> Process:
+        """Start running ``generator`` as a simulation process."""
+        return Process(self, generator)
+
+    def store(self) -> Store:
+        return Store(self)
+
+    def resource(self, capacity: int = 1) -> Resource:
+        return Resource(self, capacity)
+
+    # -- execution ----------------------------------------------------
+
+    @property
+    def events_processed(self) -> int:
+        return self._event_count
+
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if none are scheduled."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        when, _seq, event = heapq.heappop(self._heap)
+        self.now = when
+        if event._value is _PENDING:  # self-triggering event (Timeout)
+            event._ok = True
+            event._value = getattr(event, "_auto_value", None)
+        callbacks = event.callbacks
+        event.callbacks = None
+        self._event_count += 1
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            raise event._value
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the queue is empty or ``sim.now`` would pass ``until``.
+
+        When stopped by ``until`` the clock is advanced exactly to it,
+        so follow-up ``run`` calls observe a consistent timeline.
+        """
+        if until is not None and until < self.now:
+            raise SimulationError("cannot run backwards in time")
+        while self._heap:
+            if until is not None and self._heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if until is not None:
+            self.now = until
+
+    def run_until_complete(self, process: Process,
+                           limit: float = float("inf")) -> Any:
+        """Run until ``process`` finishes and return its value.
+
+        ``limit`` guards against deadlocked protocols in tests: if the
+        event queue drains or time passes ``limit`` first, a
+        :class:`SimulationError` is raised.
+        """
+        while not process.triggered:
+            if not self._heap or self.peek() > limit:
+                raise SimulationError(
+                    "process did not complete (deadlock or time limit)")
+            self.step()
+        return process.value

@@ -1,0 +1,214 @@
+"""Wide-area network model: latency, bandwidth, traffic accounting.
+
+The network charges each message a delay of
+
+    one_way_latency(separation) + size / bandwidth(separation) + jitter
+
+where *separation* is the level of the lowest common ancestor of the
+two endpoints' sites (:class:`repro.sim.topology.Level`).  This is the
+store-and-forward abstraction: no packet-level congestion, but the
+latency/bandwidth tiering reproduces the wide-area cost structure the
+GDN paper's design arguments rest on (replicas near clients save both
+time and wide-area bandwidth, §3.1).
+
+Traffic is metered per separation level, so experiments can report
+"wide-area traffic" (bytes whose path crossed a REGION or WORLD
+boundary) exactly the way the paper's motivating study does.
+
+Failures: hosts can be marked down (messages to them are lost),
+domains can be partitioned (messages crossing the domain boundary are
+lost), and lossy levels can drop a deterministic pseudo-random fraction
+of datagrams.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from .kernel import Simulator
+from .topology import Domain, Level, Topology
+
+__all__ = ["LinkParameters", "TrafficMeter", "Network", "NetworkError"]
+
+
+class NetworkError(Exception):
+    """Raised for malformed network operations."""
+
+
+#: Default one-way latency per separation level, seconds.
+DEFAULT_LATENCY = {
+    Level.SITE: 0.0003,     # same campus LAN
+    Level.CITY: 0.002,      # metro
+    Level.COUNTRY: 0.010,   # national backbone
+    Level.REGION: 0.040,    # continental
+    Level.WORLD: 0.150,     # intercontinental
+}
+
+#: Default bottleneck bandwidth per separation level, bytes/second.
+DEFAULT_BANDWIDTH = {
+    Level.SITE: 100e6,
+    Level.CITY: 50e6,
+    Level.COUNTRY: 20e6,
+    Level.REGION: 5e6,
+    Level.WORLD: 1.5e6,
+}
+
+
+class LinkParameters:
+    """Latency/bandwidth/loss per separation level.
+
+    ``loss`` applies only to unreliable (datagram) traffic; reliable
+    connections model retransmission as extra delay instead.
+    """
+
+    def __init__(self,
+                 latency: Optional[Dict[Level, float]] = None,
+                 bandwidth: Optional[Dict[Level, float]] = None,
+                 loss: Optional[Dict[Level, float]] = None,
+                 jitter_fraction: float = 0.0):
+        self.latency = dict(DEFAULT_LATENCY)
+        if latency:
+            self.latency.update(latency)
+        self.bandwidth = dict(DEFAULT_BANDWIDTH)
+        if bandwidth:
+            self.bandwidth.update(bandwidth)
+        self.loss = {level: 0.0 for level in Level}
+        if loss:
+            self.loss.update(loss)
+        if not 0.0 <= jitter_fraction < 1.0:
+            raise NetworkError("jitter_fraction must be in [0, 1)")
+        self.jitter_fraction = jitter_fraction
+
+
+class TrafficMeter:
+    """Counts bytes and messages by separation level."""
+
+    def __init__(self):
+        self.bytes_by_level: Dict[Level, int] = {lvl: 0 for lvl in Level}
+        self.messages_by_level: Dict[Level, int] = {lvl: 0 for lvl in Level}
+        self.dropped_messages = 0
+
+    def record(self, level: Level, size: int) -> None:
+        self.bytes_by_level[level] += size
+        self.messages_by_level[level] += 1
+
+    def record_drop(self) -> None:
+        self.dropped_messages += 1
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(self.bytes_by_level.values())
+
+    @property
+    def total_messages(self) -> int:
+        return sum(self.messages_by_level.values())
+
+    def wide_area_bytes(self, min_level: Level = Level.REGION) -> int:
+        """Bytes carried across ``min_level`` or wider boundaries."""
+        return sum(size for level, size in self.bytes_by_level.items()
+                   if level >= min_level)
+
+    def reset(self) -> None:
+        self.__init__()
+
+    def snapshot(self) -> Dict[str, int]:
+        return {level.name: self.bytes_by_level[level] for level in Level}
+
+
+class Network:
+    """Delivers messages between hosts over the topology.
+
+    The network does not know about ports or connections — that is the
+    transport layer's job (:mod:`repro.sim.transport`).  It provides
+    ``delay`` computation and a ``deliver`` primitive invoking a
+    callback on the destination host after the computed delay, or never
+    (drop) if a failure stands in the way.
+    """
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 params: Optional[LinkParameters] = None, seed: int = 0):
+        self.sim = sim
+        self.topology = topology
+        self.params = params or LinkParameters()
+        self.meter = TrafficMeter()
+        self.rng = random.Random(seed)
+        self._down_hosts: set = set()
+        self._partitioned: set = set()
+
+    # -- failure state -------------------------------------------------
+
+    def set_host_down(self, host_name: str, down: bool = True) -> None:
+        if down:
+            self._down_hosts.add(host_name)
+        else:
+            self._down_hosts.discard(host_name)
+
+    def host_is_down(self, host_name: str) -> bool:
+        return host_name in self._down_hosts
+
+    def partition_domain(self, domain: Domain) -> None:
+        """Isolate ``domain``: traffic crossing its boundary is lost."""
+        self._partitioned.add(domain)
+
+    def heal_domain(self, domain: Domain) -> None:
+        self._partitioned.discard(domain)
+
+    def _crosses_partition(self, site_a: Domain, site_b: Domain) -> bool:
+        for domain in self._partitioned:
+            inside_a = any(anc is domain for anc in site_a.ancestors())
+            inside_b = any(anc is domain for anc in site_b.ancestors())
+            if inside_a != inside_b:
+                return True
+        return False
+
+    # -- cost model ----------------------------------------------------
+
+    def separation(self, site_a: Domain, site_b: Domain) -> Level:
+        return Topology.separation(site_a, site_b)
+
+    def latency(self, site_a: Domain, site_b: Domain) -> float:
+        """One-way propagation latency between two sites."""
+        return self.params.latency[self.separation(site_a, site_b)]
+
+    def transfer_delay(self, site_a: Domain, site_b: Domain,
+                       size: int) -> float:
+        """One-way delay for a ``size``-byte message, incl. serialisation."""
+        level = self.separation(site_a, site_b)
+        delay = self.params.latency[level] + size / self.params.bandwidth[level]
+        if self.params.jitter_fraction:
+            delay *= 1.0 + self.rng.uniform(0, self.params.jitter_fraction)
+        return delay
+
+    def rtt(self, site_a: Domain, site_b: Domain) -> float:
+        return 2.0 * self.latency(site_a, site_b)
+
+    # -- delivery ------------------------------------------------------
+
+    def deliver(self, src_site: Domain, dst_site: Domain, dst_host: str,
+                size: int, deliver_fn: Callable[[], None],
+                reliable: bool = False,
+                extra_delay: float = 0.0) -> bool:
+        """Schedule ``deliver_fn`` after the computed delay.
+
+        Returns ``True`` if the message was scheduled, ``False`` if it
+        was dropped (destination down, partition, or random loss).
+        Bytes are metered when the message is *sent*, matching how a
+        real sender consumes upstream bandwidth even for lost traffic.
+        """
+        level = self.separation(src_site, dst_site)
+        self.meter.record(level, size)
+        if self.host_is_down(dst_host):
+            self.meter.record_drop()
+            return False
+        if self._crosses_partition(src_site, dst_site):
+            self.meter.record_drop()
+            return False
+        loss = self.params.loss[level]
+        if not reliable and loss > 0.0 and self.rng.random() < loss:
+            self.meter.record_drop()
+            return False
+        delay = self.transfer_delay(src_site, dst_site, size) + extra_delay
+        timer = self.sim.timeout(delay)
+        timer.add_callback(lambda _event: deliver_fn())
+        return True

@@ -1,0 +1,417 @@
+"""Request/response messaging over both transports.
+
+Two flavours, matching the paper's split:
+
+* :class:`RpcServer` / :func:`call` / :class:`RpcChannel` — RPC over
+  reliable connections, used by Globe Object Servers, HTTPDs, the GNS
+  naming authority and moderator tools.  Channels can be wrapped by a
+  security layer (see ``channel_factory`` / ``channel_wrapper``): the
+  TLS module provides wrappers that perform an authenticated handshake
+  and attach the peer's verified identity to every request.
+
+* :class:`UdpRpcServer` / :class:`UdpRpcClient` — RPC over datagrams
+  with timeout/retry, used by the Globe Location Service (§6.3 of the
+  paper: "For efficiency reasons this is based on UDP").
+
+Handlers are registered per method name and receive
+``(context, args)``.  A handler may be a plain function or a generator
+(simulation process), so servers can perform further simulated I/O
+while serving a request.  Each request is served in its own process —
+servers are concurrent.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Dict, Generator, Optional
+
+from .kernel import AnyOf, Event, Simulator
+from .transport import (Connection, ConnectionClosed, Host, TransportError,
+                        UdpSocket)
+
+__all__ = [
+    "RpcError",
+    "RpcTimeout",
+    "RpcFault",
+    "RpcContext",
+    "RpcServer",
+    "RpcChannel",
+    "call",
+    "UdpRpcServer",
+    "UdpRpcClient",
+]
+
+_request_ids = itertools.count(1)
+
+
+class RpcError(Exception):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """No reply arrived within the deadline (after retries, for UDP)."""
+
+
+class RpcFault(RpcError):
+    """The remote handler raised; carries the remote error description."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__("%s: %s" % (kind, message))
+        self.kind = kind
+        self.message = message
+
+
+class RpcContext:
+    """Per-request context handed to server handlers."""
+
+    def __init__(self, src_host: str, peer_principal: Optional[str] = None,
+                 transport: str = "tcp"):
+        self.src_host = src_host
+        #: Authenticated identity of the caller, if the channel was
+        #: wrapped by a security layer; ``None`` on plain channels.
+        self.peer_principal = peer_principal
+        self.transport = transport
+
+    def __repr__(self) -> str:
+        return ("RpcContext(src=%s, principal=%s)"
+                % (self.src_host, self.peer_principal))
+
+
+def _run_handler(sim: Simulator, handler: Callable, ctx: RpcContext,
+                 args: dict):
+    """Invoke a handler; normalise plain functions to one-shot processes."""
+    result = handler(ctx, args)
+    if hasattr(result, "send"):  # generator: simulate it
+        return sim.process(result)
+    done = sim.event()
+    done.succeed(result)
+    return done
+
+
+# ---------------------------------------------------------------------------
+# Connection-oriented RPC
+# ---------------------------------------------------------------------------
+
+
+class RpcServer:
+    """Serves named methods on a listening port.
+
+    ``channel_factory`` (optional) post-processes each accepted
+    connection — it is a function ``conn -> generator -> wrapped_conn``
+    used by the TLS layer to run the server side of a handshake.  The
+    wrapped connection must offer ``send/recv/close`` and may expose
+    ``peer_principal``.
+    """
+
+    def __init__(self, host: Host, port: int,
+                 channel_factory: Optional[Callable] = None,
+                 concurrency: Optional[int] = None,
+                 service_time: float = 0.0):
+        """``concurrency`` bounds in-flight requests (a worker pool);
+        ``service_time`` charges fixed CPU per request while holding a
+        worker.  Together they make a server a finite resource, so
+        offered load beyond ``concurrency / service_time`` requests/s
+        queues — the saturation behaviour replication relieves."""
+        self.host = host
+        self.port = port
+        self.channel_factory = channel_factory
+        self.handlers: Dict[str, Callable] = {}
+        self.requests_served = 0
+        self.busy_time = 0.0
+        self.service_time = service_time
+        self._listener = None
+        self._semaphore = (host.sim.resource(concurrency)
+                           if concurrency else None)
+
+    def register(self, method: str, handler: Callable) -> None:
+        self.handlers[method] = handler
+
+    def start(self) -> None:
+        self._listener = self.host.listen(self.port)
+        self.host.spawn(self._accept_loop(self._listener))
+
+    def stop(self) -> None:
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+    def _accept_loop(self, listener) -> Generator:
+        while True:
+            try:
+                conn = yield listener.accept()
+            except TransportError:
+                return
+            if listener.closed:
+                return
+            self.host.spawn(self._serve_connection(conn))
+
+    def _serve_connection(self, conn: Connection) -> Generator:
+        if self.channel_factory is not None:
+            try:
+                conn = yield from self.channel_factory(conn)
+            except (TransportError, Exception) as exc:
+                # Handshake failures (bad certs etc.) terminate service.
+                if isinstance(exc, ConnectionClosed):
+                    return
+                try:
+                    conn.close()
+                except Exception:
+                    pass
+                return
+        while True:
+            try:
+                request = yield conn.recv()
+            except ConnectionClosed:
+                return
+            self.host.spawn(self._serve_request(conn, request))
+
+    def _serve_request(self, conn, request: dict) -> Generator:
+        if self._semaphore is not None:
+            yield self._semaphore.acquire()
+        try:
+            if self.service_time > 0.0:
+                self.busy_time += self.service_time
+                yield self.host.sim.timeout(self.service_time)
+            yield from self._dispatch(conn, request)
+        finally:
+            if self._semaphore is not None:
+                self._semaphore.release()
+
+    def _dispatch(self, conn, request: dict) -> Generator:
+        request_id = request.get("id")
+        method = request.get("method", "")
+        handler = self.handlers.get(method)
+        ctx = RpcContext(src_host=request.get("src", "?"),
+                         peer_principal=getattr(conn, "peer_principal", None))
+        if handler is None:
+            reply = {"id": request_id, "ok": False,
+                     "error": ("NoSuchMethod", method)}
+        else:
+            try:
+                done = _run_handler(self.host.sim, handler, ctx,
+                                    request.get("args", {}))
+                value = yield done
+                reply = {"id": request_id, "ok": True, "value": value}
+            except Exception as exc:  # noqa: BLE001 - faults cross the wire
+                reply = {"id": request_id, "ok": False,
+                         "error": (type(exc).__name__, str(exc))}
+        self.requests_served += 1
+        try:
+            conn.send(reply)
+        except ConnectionClosed:
+            pass
+
+
+class RpcChannel:
+    """A client-side channel multiplexing many calls on one connection.
+
+    Reusing one connection amortises connect (and TLS handshake) costs,
+    which is how long-lived GDN components talk to each other.
+    Out-of-order replies are matched to callers by request id.
+    """
+
+    def __init__(self, host: Host, conn):
+        self.host = host
+        self.conn = conn
+        self.sim = host.sim
+        self._pending: Dict[int, Event] = {}
+        self._dispatcher = host.spawn(self._dispatch_loop())
+
+    @classmethod
+    def open(cls, host: Host, dst: Host, port: int,
+             channel_wrapper: Optional[Callable] = None
+             ) -> Generator[Event, Any, "RpcChannel"]:
+        """``channel = yield from RpcChannel.open(host, dst, port)``."""
+        conn = yield from host.connect(dst, port)
+        if channel_wrapper is not None:
+            conn = yield from channel_wrapper(conn)
+        return cls(host, conn)
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            try:
+                reply = yield self.conn.recv()
+            except ConnectionClosed:
+                for event in self._pending.values():
+                    if not event.triggered:
+                        event.fail(ConnectionClosed("channel closed"))
+                self._pending.clear()
+                return
+            waiter = self._pending.pop(reply.get("id"), None)
+            if waiter is None or waiter.triggered:
+                continue
+            if reply.get("ok"):
+                waiter.succeed(reply.get("value"))
+            else:
+                kind, message = reply.get("error", ("RpcError", "?"))
+                waiter.fail(RpcFault(kind, message))
+
+    def call(self, method: str, args: Optional[dict] = None,
+             size: Optional[int] = None, timeout: Optional[float] = None
+             ) -> Generator[Event, Any, Any]:
+        """``value = yield from channel.call("method", {...})``."""
+        request_id = next(_request_ids)
+        request = {"id": request_id, "method": method,
+                   "args": args or {}, "src": self.host.name}
+        waiter = self.sim.event()
+        self._pending[request_id] = waiter
+        self.conn.send(request, size=size)
+        if timeout is None:
+            value = yield waiter
+            return value
+        timer = self.sim.timeout(timeout)
+        yield AnyOf(self.sim, [waiter, timer])
+        if not waiter.triggered:
+            self._pending.pop(request_id, None)
+            raise RpcTimeout("%s timed out after %gs" % (method, timeout))
+        return waiter.value
+
+    def close(self) -> None:
+        self.conn.close()
+        if self._dispatcher.alive:
+            self._dispatcher.kill()
+
+
+def call(src: Host, dst: Host, port: int, method: str,
+         args: Optional[dict] = None, size: Optional[int] = None,
+         channel_wrapper: Optional[Callable] = None,
+         timeout: Optional[float] = None) -> Generator[Event, Any, Any]:
+    """One-shot RPC: connect, call, close.
+
+    ``value = yield from rpc.call(me, server, 7000, "ping", {})``
+    """
+    channel = yield from RpcChannel.open(src, dst, port, channel_wrapper)
+    try:
+        value = yield from channel.call(method, args, size=size,
+                                        timeout=timeout)
+    finally:
+        channel.close()
+    return value
+
+
+# ---------------------------------------------------------------------------
+# Datagram RPC (used by the Globe Location Service)
+# ---------------------------------------------------------------------------
+
+
+class UdpRpcServer:
+    """Serves named methods over datagrams.
+
+    No connection state; each request datagram carries a request id and
+    the reply is sent to the source socket.  Lost requests or replies
+    are handled by client retry.
+    """
+
+    def __init__(self, host: Host, port: int):
+        self.host = host
+        self.port = port
+        self.handlers: Dict[str, Callable] = {}
+        self.requests_served = 0
+        self._socket: Optional[UdpSocket] = None
+
+    def register(self, method: str, handler: Callable) -> None:
+        self.handlers[method] = handler
+
+    def start(self) -> None:
+        self._socket = self.host.udp_socket(self.port)
+        self.host.spawn(self._serve_loop())
+
+    def stop(self) -> None:
+        if self._socket is not None:
+            self._socket.close()
+            self._socket = None
+
+    def _serve_loop(self) -> Generator:
+        while True:
+            try:
+                datagram = yield self._socket.recv()
+            except TransportError:
+                return
+            self.host.spawn(self._serve_one(datagram))
+
+    def _serve_one(self, datagram) -> Generator:
+        request = datagram.payload
+        request_id = request.get("id")
+        handler = self.handlers.get(request.get("method", ""))
+        ctx = RpcContext(src_host=datagram.src_host.name, transport="udp")
+        if handler is None:
+            reply = {"id": request_id, "ok": False,
+                     "error": ("NoSuchMethod", request.get("method", ""))}
+        else:
+            try:
+                done = _run_handler(self.host.sim, handler, ctx,
+                                    request.get("args", {}))
+                value = yield done
+                reply = {"id": request_id, "ok": True, "value": value}
+            except Exception as exc:  # noqa: BLE001
+                reply = {"id": request_id, "ok": False,
+                         "error": (type(exc).__name__, str(exc))}
+        self.requests_served += 1
+        if self._socket is not None and not self._socket.closed:
+            self._socket.send_to(datagram.src_host, datagram.src_port, reply)
+
+
+class UdpRpcClient:
+    """Datagram RPC client with timeout and retry."""
+
+    def __init__(self, host: Host, timeout: float = 0.5, retries: int = 3):
+        self.host = host
+        self.sim = host.sim
+        self.timeout = timeout
+        self.retries = retries
+        self._socket = host.udp_socket()
+        self._pending: Dict[int, Event] = {}
+        host.spawn(self._dispatch_loop())
+
+    def _ensure_open(self) -> None:
+        """Re-open the socket after a host crash+restart destroyed it."""
+        if self._socket.closed and self.host.up:
+            self._socket = self.host.udp_socket()
+            self._pending.clear()
+            self.host.spawn(self._dispatch_loop())
+
+    def _dispatch_loop(self) -> Generator:
+        while True:
+            try:
+                datagram = yield self._socket.recv()
+            except TransportError:
+                return
+            reply = datagram.payload
+            waiter = self._pending.pop(reply.get("id"), None)
+            if waiter is None or waiter.triggered:
+                continue
+            if reply.get("ok"):
+                waiter.succeed(reply.get("value"))
+            else:
+                kind, message = reply.get("error", ("RpcError", "?"))
+                waiter.fail(RpcFault(kind, message))
+
+    def call(self, dst: Host, port: int, method: str,
+             args: Optional[dict] = None
+             ) -> Generator[Event, Any, Any]:
+        """``value = yield from client.call(node_host, 5300, "lookup", ...)``
+
+        Retries ``retries`` times on timeout, then raises
+        :class:`RpcTimeout`.  Each retry is a fresh request id, so a
+        late reply to an earlier attempt is ignored.
+        """
+        self._ensure_open()
+        last_error: Optional[Exception] = None
+        for _attempt in range(1 + self.retries):
+            request_id = next(_request_ids)
+            request = {"id": request_id, "method": method,
+                       "args": args or {}, "src": self.host.name}
+            waiter = self.sim.event()
+            self._pending[request_id] = waiter
+            self._socket.send_to(dst, port, request)
+            timer = self.sim.timeout(self.timeout)
+            yield AnyOf(self.sim, [waiter, timer])
+            if waiter.triggered:
+                return waiter.value  # may raise RpcFault
+            self._pending.pop(request_id, None)
+            last_error = RpcTimeout(
+                "%s to %s:%d timed out" % (method, dst.name, port))
+        raise last_error
+
+    def close(self) -> None:
+        self._socket.close()

@@ -1,0 +1,75 @@
+"""Simulated stable storage (per-host disks that survive crashes).
+
+Host crashes destroy every address space on the machine but not its
+disk.  Daemons that must reconstruct state after a reboot — Globe
+Object Servers (§4) and GLS directory nodes (§7: "persistent storage of
+the state of a directory node") — write through a :class:`StableStore`
+namespace on their host's :class:`DiskStore`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, Optional
+
+__all__ = ["DiskStore", "StableStore", "DISK_WRITE_LATENCY",
+           "DISK_READ_LATENCY"]
+
+#: Simulated latency of a stable write / read, seconds.
+DISK_WRITE_LATENCY = 0.005
+DISK_READ_LATENCY = 0.002
+
+
+class DiskStore:
+    """Stable storage shared by all hosts of a world, keyed per host."""
+
+    def __init__(self):
+        self._disks: Dict[str, Dict[str, dict]] = {}
+
+    def disk(self, host_name: str) -> Dict[str, dict]:
+        return self._disks.setdefault(host_name, {})
+
+    def wipe(self, host_name: str) -> None:
+        """Destroy a host's disk (models media loss, used in tests)."""
+        self._disks.pop(host_name, None)
+
+
+class StableStore:
+    """One daemon's namespaced view of its host's disk."""
+
+    def __init__(self, world, store: DiskStore, host_name: str,
+                 namespace: str):
+        self.world = world
+        self.store = store
+        self.host_name = host_name
+        self.namespace = namespace
+        self.writes = 0
+        self.reads = 0
+
+    def _key(self, key: str) -> str:
+        return "%s/%s" % (self.namespace, key)
+
+    def save(self, key: str, record: dict) -> Generator:
+        """Write one record through to disk (simulated latency)."""
+        yield self.world.sim.timeout(DISK_WRITE_LATENCY)
+        self.store.disk(self.host_name)[self._key(key)] = dict(record)
+        self.writes += 1
+
+    def load(self, key: str) -> Generator[Any, Any, Optional[dict]]:
+        yield self.world.sim.timeout(DISK_READ_LATENCY)
+        self.reads += 1
+        record = self.store.disk(self.host_name).get(self._key(key))
+        return dict(record) if record is not None else None
+
+    def load_all(self) -> Generator[Any, Any, Dict[str, dict]]:
+        """All records in this namespace."""
+        yield self.world.sim.timeout(DISK_READ_LATENCY)
+        self.reads += 1
+        prefix = "%s/" % self.namespace
+        disk = self.store.disk(self.host_name)
+        return {key[len(prefix):]: dict(value)
+                for key, value in disk.items() if key.startswith(prefix)}
+
+    def remove(self, key: str) -> Generator:
+        yield self.world.sim.timeout(DISK_WRITE_LATENCY)
+        self.store.disk(self.host_name).pop(self._key(key), None)
+        self.writes += 1

@@ -1,0 +1,407 @@
+"""Hosts and transport: UDP-like datagrams and TCP-like connections.
+
+A :class:`Host` is a named machine attached to a site domain.  It owns
+sockets, listeners, connections and processes; crashing a host kills
+all of them (and ``restart`` brings the machine back empty, so daemons
+must explicitly recover — which is exactly what the paper requires of
+Globe Object Servers, §4).
+
+Two transports are provided, matching the paper's usage:
+
+* **Datagrams** (:class:`UdpSocket`) — unreliable, unordered enough for
+  our purposes, subject to configured loss.  The Globe Location Service
+  runs over these (§6.3: "For efficiency reasons this is based on UDP").
+* **Connections** (:class:`Connection`) — reliable, FIFO, with a
+  one-RTT connection-establishment cost.  All other GDN traffic runs
+  over these, optionally wrapped by the TLS layer
+  (:mod:`repro.security.tls`).
+
+Connections preserve FIFO ordering even though each message's transfer
+delay depends on its size: a per-direction clock makes a later message
+arrive no earlier than its predecessor, which also approximates
+back-to-back pipelining of large transfers.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Generator, Optional
+
+from .kernel import Event, Process, Simulator, Store
+from .network import Network
+from .serde import HEADER_OVERHEAD, encoded_size
+from .topology import Domain
+
+__all__ = [
+    "Host",
+    "UdpSocket",
+    "TcpListener",
+    "Connection",
+    "Datagram",
+    "TransportError",
+    "ConnectionClosed",
+    "ConnectRefused",
+    "ConnectTimeout",
+    "HostDown",
+]
+
+#: Handshake segment size (SYN / SYN-ACK / RST).
+_HANDSHAKE_SIZE = HEADER_OVERHEAD
+#: How long a connect attempt waits for a SYN-ACK before giving up.
+CONNECT_TIMEOUT = 3.0
+
+
+class TransportError(Exception):
+    """Base class for transport failures."""
+
+
+class ConnectionClosed(TransportError):
+    """The peer closed the connection or its host went down."""
+
+
+class ConnectRefused(TransportError):
+    """No listener at the destination port."""
+
+
+class ConnectTimeout(TransportError):
+    """The destination did not answer the connection request."""
+
+
+class HostDown(TransportError):
+    """Operation attempted on or towards a crashed host."""
+
+
+class Datagram:
+    """An unreliable message as received by a :class:`UdpSocket`."""
+
+    __slots__ = ("src_host", "src_port", "payload", "size")
+
+    def __init__(self, src_host: "Host", src_port: int, payload: Any,
+                 size: int):
+        self.src_host = src_host
+        self.src_port = src_port
+        self.payload = payload
+        self.size = size
+
+    def __repr__(self) -> str:
+        return ("Datagram(from=%s:%d, %d bytes)"
+                % (self.src_host.name, self.src_port, self.size))
+
+
+class Host:
+    """A machine attached to a site, owning sockets and processes."""
+
+    def __init__(self, network: Network, name: str, site: Domain):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.name = name
+        self.site = site
+        self.up = True
+        self._udp_ports: Dict[int, "UdpSocket"] = {}
+        self._tcp_listeners: Dict[int, "TcpListener"] = {}
+        self._connections: list["Connection"] = []
+        self._processes: list[Process] = []
+        self._ephemeral = itertools.count(49152)
+
+    def __repr__(self) -> str:
+        return "Host(%s @ %s)" % (self.name, self.site.path)
+
+    # -- process management ---------------------------------------------
+
+    def spawn(self, generator: Generator) -> Process:
+        """Run ``generator`` as a process that dies if this host crashes."""
+        if not self.up:
+            raise HostDown("cannot spawn on crashed host %s" % self.name)
+        process = self.sim.process(generator)
+        self._processes.append(process)
+        process.add_callback(
+            lambda _event: self._processes.remove(process)
+            if process in self._processes else None)
+        return process
+
+    # -- lifecycle --------------------------------------------------------
+
+    def crash(self) -> None:
+        """Hard-stop the machine: processes killed, endpoints destroyed."""
+        if not self.up:
+            return
+        self.up = False
+        self.network.set_host_down(self.name, True)
+        for process in list(self._processes):
+            process.kill()
+        self._processes.clear()
+        for connection in list(self._connections):
+            connection._break()
+        self._connections.clear()
+        for socket in list(self._udp_ports.values()):
+            socket.close()
+        for listener in list(self._tcp_listeners.values()):
+            listener.close()
+
+    def restart(self) -> None:
+        """Bring the machine back up, empty.  Daemons must be restarted."""
+        if self.up:
+            return
+        self.up = True
+        self.network.set_host_down(self.name, False)
+
+    def _require_up(self) -> None:
+        if not self.up:
+            raise HostDown("host %s is down" % self.name)
+
+    # -- UDP ---------------------------------------------------------------
+
+    def udp_socket(self, port: Optional[int] = None) -> "UdpSocket":
+        self._require_up()
+        if port is None:
+            port = next(self._ephemeral)
+        if port in self._udp_ports:
+            raise TransportError(
+                "UDP port %d already bound on %s" % (port, self.name))
+        socket = UdpSocket(self, port)
+        self._udp_ports[port] = socket
+        return socket
+
+    # -- TCP ---------------------------------------------------------------
+
+    def listen(self, port: int) -> "TcpListener":
+        self._require_up()
+        if port in self._tcp_listeners:
+            raise TransportError(
+                "TCP port %d already listening on %s" % (port, self.name))
+        listener = TcpListener(self, port)
+        self._tcp_listeners[port] = listener
+        return listener
+
+    def connect(self, dst: "Host", port: int,
+                timeout: float = CONNECT_TIMEOUT
+                ) -> Generator[Event, Any, "Connection"]:
+        """Open a connection to ``dst:port`` (one-RTT handshake).
+
+        A generator: use as ``conn = yield from host.connect(dst, 80)``.
+        Raises :class:`ConnectRefused` if nothing listens there,
+        :class:`ConnectTimeout` if the destination is unreachable.
+        """
+        self._require_up()
+        reply: Event = self.sim.event()
+
+        def on_syn_arrival() -> None:
+            listener = dst._tcp_listeners.get(port) if dst.up else None
+
+            def deliver_reply(accept: bool) -> None:
+                def on_reply() -> None:
+                    if reply.triggered:
+                        return
+                    if accept:
+                        reply.succeed()
+                    else:
+                        reply.fail(ConnectRefused(
+                            "%s:%d refused" % (dst.name, port)))
+                self.network.deliver(dst.site, self.site, self.name,
+                                     _HANDSHAKE_SIZE, on_reply,
+                                     reliable=True)
+
+            deliver_reply(accept=listener is not None)
+
+        delivered = self.network.deliver(
+            self.site, dst.site, dst.name, _HANDSHAKE_SIZE, on_syn_arrival,
+            reliable=True)
+        timer = self.sim.timeout(timeout)
+        from .kernel import AnyOf
+        yield AnyOf(self.sim, [reply, timer])
+        if not reply.triggered:
+            raise ConnectTimeout(
+                "connect to %s:%d timed out%s"
+                % (dst.name, port, "" if delivered else " (unreachable)"))
+        reply.value  # re-raise ConnectRefused if the handshake failed
+        listener = dst._tcp_listeners.get(port)
+        if listener is None or not dst.up:
+            raise ConnectRefused("%s:%d refused" % (dst.name, port))
+        client_end = Connection(self, dst)
+        server_end = Connection(dst, self)
+        client_end._peer = server_end
+        server_end._peer = client_end
+        self._connections.append(client_end)
+        dst._connections.append(server_end)
+        listener._pending.put(server_end)
+        return client_end
+
+
+class UdpSocket:
+    """An unreliable datagram endpoint bound to ``host:port``."""
+
+    def __init__(self, host: Host, port: int):
+        self.host = host
+        self.port = port
+        self._inbox: Store = host.sim.store()
+        self.closed = False
+
+    def send_to(self, dst: Host, dst_port: int, payload: Any,
+                size: Optional[int] = None) -> None:
+        """Fire-and-forget datagram; may be silently lost."""
+        if self.closed:
+            raise TransportError("socket is closed")
+        self.host._require_up()
+        wire = (size if size is not None else encoded_size(payload))
+        wire += HEADER_OVERHEAD
+
+        def deliver() -> None:
+            target = dst._udp_ports.get(dst_port)
+            if target is not None and not target.closed and dst.up:
+                target._inbox.put(
+                    Datagram(self.host, self.port, payload, wire))
+
+        self.host.network.deliver(self.host.site, dst.site, dst.name,
+                                  wire, deliver, reliable=False)
+
+    def recv(self) -> Event:
+        """Event firing with the next :class:`Datagram`."""
+        if self.closed:
+            raise TransportError("socket is closed")
+        return self._inbox.get()
+
+    def close(self) -> None:
+        self.closed = True
+        self.host._udp_ports.pop(self.port, None)
+
+
+class TcpListener:
+    """Accepts incoming connections on ``host:port``."""
+
+    def __init__(self, host: Host, port: int):
+        self.host = host
+        self.port = port
+        self._pending: Store = host.sim.store()
+        self.closed = False
+
+    def accept(self) -> Event:
+        """Event firing with the server-side :class:`Connection`."""
+        if self.closed:
+            raise TransportError("listener is closed")
+        return self._pending.get()
+
+    def close(self) -> None:
+        self.closed = True
+        self.host._tcp_listeners.pop(self.port, None)
+
+
+_EOF = object()
+
+
+class Connection:
+    """One endpoint of a reliable, FIFO, bidirectional connection."""
+
+    def __init__(self, local: Host, remote: Host):
+        self.local = local
+        self.remote = remote
+        self.sim = local.sim
+        self._inbox: Store = local.sim.store()
+        self._peer: Optional["Connection"] = None
+        self._next_arrival = 0.0
+        self.closed = False
+        self.broken = False
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def __repr__(self) -> str:
+        return "Connection(%s -> %s)" % (self.local.name, self.remote.name)
+
+    # -- data transfer -----------------------------------------------------
+
+    def send(self, payload: Any, size: Optional[int] = None) -> int:
+        """Send a message; returns the wire size charged.
+
+        Raises :class:`ConnectionClosed` if this end is closed/broken.
+        Delivery is asynchronous; FIFO order is preserved.
+        """
+        if self.closed or self.broken:
+            raise ConnectionClosed("send on closed connection %r" % self)
+        self.local._require_up()
+        wire = (size if size is not None else encoded_size(payload))
+        wire += HEADER_OVERHEAD
+        if self.local.network.host_is_down(self.remote.name):
+            self._break()
+            raise ConnectionClosed("peer host %s is down" % self.remote.name)
+        self.bytes_sent += wire
+        peer = self._peer
+
+        def deliver() -> None:
+            if peer is not None and not peer.closed and peer.local.up:
+                peer.bytes_received += wire
+                peer._inbox.put(payload)
+
+        network = self.local.network
+        base_delay = network.transfer_delay(self.local.site,
+                                            self.remote.site, wire)
+        arrival = max(self.sim.now + base_delay, self._next_arrival)
+        self._next_arrival = arrival
+        extra = arrival - (self.sim.now + base_delay)
+        delivered = network.deliver(self.local.site, self.remote.site,
+                                    self.remote.name, wire, deliver,
+                                    reliable=True, extra_delay=extra)
+        if not delivered:
+            self._break()
+            raise ConnectionClosed("connection to %s lost" % self.remote.name)
+        return wire
+
+    def recv(self) -> Event:
+        """Event firing with the next message.
+
+        Fails with :class:`ConnectionClosed` once the peer has closed
+        (after all in-flight messages have been drained).
+        """
+        result = self.sim.event()
+        # Teardown notifications must not crash the simulation when the
+        # waiting process has itself been killed (e.g. its host crashed
+        # between issuing recv() and the EOF arriving).
+        result._defused = True
+        if self.closed:
+            result.fail(ConnectionClosed("recv on closed connection"))
+            return result
+        inner = self._inbox.get()
+
+        def on_item(event: Event) -> None:
+            if result.triggered:
+                return
+            item = event._value
+            if item is _EOF:
+                self._inbox.put(_EOF)  # subsequent recv() sees EOF too
+                result.fail(ConnectionClosed("peer closed %r" % self))
+            else:
+                result.succeed(item)
+
+        inner.add_callback(on_item)
+        return result
+
+    # -- teardown ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Graceful close: the peer drains in-flight data, then sees EOF."""
+        if self.closed:
+            return
+        self.closed = True
+        peer = self._peer
+        if peer is not None and not peer.closed:
+            network = self.local.network
+            base_delay = network.transfer_delay(
+                self.local.site, self.remote.site, HEADER_OVERHEAD)
+            arrival = max(self.sim.now + base_delay, self._next_arrival)
+            extra = arrival - (self.sim.now + base_delay)
+            network.deliver(self.local.site, self.remote.site,
+                            self.remote.name, HEADER_OVERHEAD,
+                            lambda: peer._inbox.put(_EOF)
+                            if not peer.closed else None,
+                            reliable=True, extra_delay=extra)
+        if self in self.local._connections:
+            self.local._connections.remove(self)
+
+    def _break(self) -> None:
+        """Abrupt teardown (host crash): surviving ends see EOF."""
+        for end in (self, self._peer):
+            if end is None or end.closed:
+                continue
+            end.broken = True
+            if end.local.up:
+                end._inbox.put(_EOF)
+            if end in end.local._connections:
+                end.local._connections.remove(end)

@@ -1,0 +1,12 @@
+"""Workload generators: popularity, packages, client populations."""
+
+from .packages import PackageSpec, generate_corpus, synthetic_file
+from .population import ClientPopulation, Request, RequestStream
+from .webtrace import WebDocument, make_web_trace
+from .zipf import ZipfSampler
+
+__all__ = [
+    "PackageSpec", "generate_corpus", "synthetic_file",
+    "ClientPopulation", "Request", "RequestStream",
+    "WebDocument", "make_web_trace", "ZipfSampler",
+]

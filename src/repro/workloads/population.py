@@ -1,0 +1,121 @@
+"""Geo-distributed client populations and request streams (§3.1).
+
+"With interested people distributed all over the world replicas must
+be created close to where the clients are."  The population model
+places clients across topology regions (optionally skewed), gives each
+object a *home region* where its demand concentrates, and produces a
+deterministic time-ordered request stream.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterator, List, Optional
+
+from ..sim.topology import Domain, Topology
+from .zipf import ZipfSampler
+
+__all__ = ["Request", "RequestStream", "ClientPopulation"]
+
+
+class Request:
+    """One client action in a workload."""
+
+    __slots__ = ("time", "kind", "site", "object_index", "region")
+
+    def __init__(self, time: float, kind: str, site: Domain,
+                 object_index: int):
+        self.time = time
+        self.kind = kind  # "read" or "write"
+        self.site = site
+        self.object_index = object_index
+        self.region = list(site.ancestors())[3].path
+
+    def __repr__(self) -> str:
+        return ("Request(%.2fs %s obj%d @ %s)"
+                % (self.time, self.kind, self.object_index, self.site.path))
+
+
+class RequestStream:
+    """A finite, time-sorted list of requests plus summary stats."""
+
+    def __init__(self, requests: List[Request]):
+        self.requests = sorted(requests, key=lambda r: r.time)
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def reads_by_region(self, object_index: int) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for request in self.requests:
+            if request.kind == "read" \
+                    and request.object_index == object_index:
+                counts[request.region] = counts.get(request.region, 0) + 1
+        return counts
+
+    def writes(self, object_index: int) -> int:
+        return sum(1 for request in self.requests
+                   if request.kind == "write"
+                   and request.object_index == object_index)
+
+
+class ClientPopulation:
+    """Generates request streams over a topology.
+
+    * object popularity: Zipf(``alpha``);
+    * locality: each object has a home region receiving
+      ``home_share`` of its reads, the rest spread uniformly;
+    * writes: per-object write rates, issued from the home region
+      (moderators/maintainers live near their package's community);
+    * arrivals: exponential inter-arrival times at ``request_rate``
+      requests per second overall.
+    """
+
+    def __init__(self, topology: Topology, object_count: int,
+                 rng: random.Random, alpha: float = 1.0,
+                 home_share: float = 0.7,
+                 write_fraction: Optional[List[float]] = None):
+        self.topology = topology
+        self.object_count = object_count
+        self.rng = rng
+        self.home_share = home_share
+        self.regions = list(topology.world.children.values())
+        self.popularity = ZipfSampler(object_count, alpha, rng)
+        #: per-object probability that a request is a write.
+        self.write_fraction = write_fraction or [0.0] * object_count
+        #: per-object home region, assigned round-robin-with-noise.
+        self.home_region: List[Domain] = [
+            self.regions[(index + rng.randrange(len(self.regions)))
+                         % len(self.regions)]
+            for index in range(object_count)]
+
+    def _site_in(self, region: Domain) -> Domain:
+        sites = list(region.sites())
+        return sites[self.rng.randrange(len(sites))]
+
+    def _site_for(self, object_index: int) -> Domain:
+        if self.rng.random() < self.home_share:
+            return self._site_in(self.home_region[object_index])
+        return self._site_in(
+            self.regions[self.rng.randrange(len(self.regions))])
+
+    def generate(self, request_count: int,
+                 request_rate: float = 10.0) -> RequestStream:
+        """A deterministic stream of ``request_count`` requests."""
+        requests: List[Request] = []
+        now = 0.0
+        for _ in range(request_count):
+            now += self.rng.expovariate(request_rate)
+            object_index = self.popularity.sample()
+            is_write = (self.rng.random()
+                        < self.write_fraction[object_index])
+            if is_write:
+                site = self._site_in(self.home_region[object_index])
+                requests.append(Request(now, "write", site, object_index))
+            else:
+                site = self._site_for(object_index)
+                requests.append(Request(now, "read", site, object_index))
+        return RequestStream(requests)

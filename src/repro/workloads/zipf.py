@@ -1,0 +1,51 @@
+"""Zipf-distributed popularity sampling.
+
+Web and software-download popularity is classically Zipf-like: the
+paper's efficiency argument (§3.1) — replicate the popular things where
+their readers are, leave the long tail on single servers — only matters
+because demand is this skewed.  Pure-Python inverse-CDF sampler,
+deterministic per supplied RNG.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+from typing import List
+
+__all__ = ["ZipfSampler"]
+
+
+class ZipfSampler:
+    """Samples ranks 0..n-1 with probability ∝ 1/(rank+1)^alpha."""
+
+    def __init__(self, n: int, alpha: float = 1.0,
+                 rng: random.Random = None):
+        if n < 1:
+            raise ValueError("need at least one item")
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.n = n
+        self.alpha = alpha
+        self.rng = rng or random.Random()
+        weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+        total = sum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for weight in weights:
+            acc += weight / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float drift
+
+    def probability(self, rank: int) -> float:
+        """P(rank) under this distribution."""
+        if rank == 0:
+            return self._cdf[0]
+        return self._cdf[rank] - self._cdf[rank - 1]
+
+    def sample(self) -> int:
+        """One rank draw (0 is the most popular)."""
+        return bisect.bisect_left(self._cdf, self.rng.random())
+
+    def sample_many(self, count: int) -> List[int]:
+        return [self.sample() for _ in range(count)]

@@ -1,0 +1,103 @@
+"""Unit tests for the textual IDL parser and compliance checker."""
+
+import pytest
+
+from repro.core.idl import Mode
+from repro.core.idl_parser import (IdlComplianceError, IdlSyntaxError,
+                                   check_implements, parse_idl)
+from repro.gdn.package import PackageSemantics
+from tests.util import Counter, KvStore
+
+PACKAGE_IDL = """
+// The package DSO interface, as the paper's §4 describes it.
+interface Package {
+    readonly listContents();
+    readonly getFileContents(path);
+    readonly getFileDigest(path);
+    mutating addFile(path, data);
+    mutating delFile(path);
+};
+
+interface Versioned {
+    readonly getVersion();
+    readonly getHistory();
+    mutating restoreFile(path, version);
+};
+"""
+
+
+def test_parse_names_and_modes():
+    interfaces = parse_idl(PACKAGE_IDL)
+    assert set(interfaces) == {"Package", "Versioned"}
+    package = interfaces["Package"]
+    assert package.mode("listContents") == Mode.READ
+    assert package.mode("addFile") == Mode.WRITE
+    assert package.parameters["addFile"] == ["path", "data"]
+    assert package.parameters["listContents"] == []
+
+
+def test_comments_are_stripped():
+    interfaces = parse_idl("""
+    /* block comment
+       interface Fake { readonly nope(); }; */
+    interface Real {
+        readonly value();   // line comment
+    };
+    """)
+    assert set(interfaces) == {"Real"}
+
+
+def test_syntax_errors():
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("interface X { readonly broken: }")
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("not idl at all")
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("interface X { readonly a(); };"
+                  "interface X { readonly b(); };")
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("interface X { readonly a(); readonly a(); };")
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("interface X { readonly a(bad name); };")
+    with pytest.raises(IdlSyntaxError):
+        parse_idl("interface X { readonly a(); }; trailing garbage")
+
+
+def test_package_semantics_implements_its_idl():
+    interfaces = parse_idl(PACKAGE_IDL)
+    check_implements(PackageSemantics, interfaces["Package"])
+    check_implements(PackageSemantics, interfaces["Versioned"])
+
+
+def test_missing_method_detected():
+    interfaces = parse_idl("interface I { readonly nothere(); };")
+    with pytest.raises(IdlComplianceError, match="nothere"):
+        check_implements(KvStore, interfaces["I"])
+
+
+def test_mode_mismatch_detected():
+    interfaces = parse_idl("interface I { mutating get(key); };")
+    with pytest.raises(IdlComplianceError, match="read"):
+        check_implements(KvStore, interfaces["I"])
+
+
+def test_parameter_mismatch_detected():
+    interfaces = parse_idl("interface I { mutating put(key, wrongname); };")
+    with pytest.raises(IdlComplianceError, match="wrongname"):
+        check_implements(KvStore, interfaces["I"])
+
+
+def test_counter_implements_simple_idl():
+    interfaces = parse_idl("""
+    interface Counter {
+        mutating increment(by);
+        readonly value();
+    };
+    """)
+    check_implements(Counter, interfaces["Counter"])
+
+
+def test_non_semantics_class_rejected():
+    interfaces = parse_idl("interface I { readonly x(); };")
+    with pytest.raises(IdlComplianceError):
+        check_implements(dict, interfaces["I"])

@@ -1,0 +1,86 @@
+"""Unit and property tests for the opaque invocation codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.marshal import (MarshalError, marshal_invocation,
+                                marshal_result, pack, unmarshal_invocation,
+                                unmarshal_result, unpack)
+
+
+def test_scalar_round_trips():
+    for value in (None, True, False, 0, -1, 2 ** 100, 3.25, "héllo", b"raw"):
+        assert unpack(pack(value)) == value
+
+
+def test_container_round_trips():
+    value = {"files": [{"name": "a", "data": b"\x00" * 64}],
+             "sizes": (1, 2, 3), "empty": [], "nested": {"k": None}}
+    result = unpack(pack(value))
+    assert result["files"] == value["files"]
+    assert result["sizes"] == (1, 2, 3)
+
+
+def test_canonical_dict_encoding():
+    assert pack({"a": 1, "b": 2}) == pack({"b": 2, "a": 1})
+
+
+def test_non_string_dict_keys_rejected():
+    with pytest.raises(MarshalError):
+        pack({1: "x"})
+
+
+def test_unknown_type_rejected():
+    with pytest.raises(MarshalError):
+        pack(object())
+
+
+def test_truncated_message_rejected():
+    data = pack("hello world")
+    with pytest.raises(MarshalError):
+        unpack(data[:-3])
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(MarshalError):
+        unpack(pack(1) + b"x")
+
+
+def test_invocation_round_trip():
+    payload = marshal_invocation("getFileContents",
+                                 {"path": "bin/gimp", "offset": 0})
+    method, args = unmarshal_invocation(payload)
+    assert method == "getFileContents"
+    assert args == {"path": "bin/gimp", "offset": 0}
+
+
+def test_result_round_trip():
+    assert unmarshal_result(marshal_result([1, "two", b"3"])) == [1, "two",
+                                                                  b"3"]
+
+
+def test_result_is_not_an_invocation():
+    with pytest.raises(MarshalError):
+        unmarshal_invocation(marshal_result("x"))
+
+
+_values = st.recursive(
+    st.none() | st.booleans() | st.integers() |
+    st.floats(allow_nan=False, allow_infinity=False) |
+    st.text(max_size=40) | st.binary(max_size=40),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=8), children, max_size=4),
+    max_leaves=20)
+
+
+@given(_values)
+def test_pack_unpack_property(value):
+    assert unpack(pack(value)) == value
+
+
+@given(_values)
+def test_packed_size_grows_with_content(value):
+    # Size sanity: encoding is never absurdly smaller than the content.
+    data = pack(value)
+    assert len(data) >= 1

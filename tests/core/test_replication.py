@@ -1,0 +1,338 @@
+"""Integration tests: replication protocols end-to-end through GOSs.
+
+These exercise the full subobject stack of Figure 1(b): a client-side
+local representative marshals invocations into opaque messages, its
+replication subobject routes them, communication subobjects carry them
+to Globe Object Servers, and replica-side representatives execute them
+against semantics subobjects.
+"""
+
+import pytest
+
+from repro.core.ids import ObjectId
+from tests.util import GlobeBed
+
+
+@pytest.fixture
+def bed():
+    return GlobeBed()
+
+
+def _create_object(bed, gos, protocol, role="master", impl="test.kv"):
+    def create():
+        lr = yield from gos.create_local_replica(None, impl, protocol, role)
+        return lr
+
+    return bed.run(create())
+
+
+def _add_replica(bed, gos, oid, master_ca, protocol, role, impl="test.kv"):
+    def create():
+        lr = yield from gos.create_local_replica(
+            oid, impl, protocol, role, master=master_ca)
+        return lr
+
+    return bed.run(create())
+
+
+# -- client/server -----------------------------------------------------------
+
+
+def test_client_server_end_to_end(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    server_lr = _create_object(bed, gos, "client_server", role="server")
+    runtime = bed.runtime("client-1", "r1/c0/m0/s0")
+
+    def use():
+        lr = yield from runtime.bind(server_lr.oid)
+        yield from lr.invoke("put", {"key": "gimp", "value": "1.2"})
+        value = yield from lr.invoke("get", {"key": "gimp"})
+        size = yield from lr.invoke("size")
+        return value, size, lr.role
+
+    value, size, role = bed.run(use(), host=runtime.host)
+    assert value == "1.2"
+    assert size == 1
+    assert role == "client"
+    # All state lives on the server; the client proxy held none.
+    assert server_lr.semantics.data == {"gimp": "1.2"}
+
+
+def test_client_server_remote_fault_reraises(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    server_lr = _create_object(bed, gos, "client_server", role="server")
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def use():
+        lr = yield from runtime.bind(server_lr.oid)
+        try:
+            yield from lr.invoke("put", {"key": "k"})  # missing 'value'
+        except Exception as exc:  # noqa: BLE001
+            return type(exc).__name__
+
+    assert bed.run(use(), host=runtime.host) == "RemoteInvocationError"
+
+
+def test_undeclared_method_rejected_client_side(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    server_lr = _create_object(bed, gos, "client_server", role="server")
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def use():
+        lr = yield from runtime.bind(server_lr.oid)
+        try:
+            yield from lr.invoke("not_a_method")
+        except Exception as exc:  # noqa: BLE001
+            return type(exc).__name__
+
+    assert bed.run(use(), host=runtime.host) == "IdlError"
+
+
+# -- master/slave -----------------------------------------------------------
+
+
+def _master_slave_pair(bed):
+    master_gos = bed.gos("gos-master", "r0/c0/m0/s0")
+    slave_gos = bed.gos("gos-slave", "r1/c0/m0/s0")
+    master_lr = _create_object(bed, master_gos, "master_slave", role="master")
+    slave_lr = _add_replica(bed, slave_gos, master_lr.oid,
+                            master_lr.contact_address, "master_slave",
+                            "slave")
+    return master_gos, slave_gos, master_lr, slave_lr
+
+
+def test_slave_join_transfers_state(bed):
+    master_gos = bed.gos("gos-master", "r0/c0/m0/s0")
+    master_lr = _create_object(bed, master_gos, "master_slave", role="master")
+    master_lr.semantics.data["preexisting"] = "yes"
+    slave_gos = bed.gos("gos-slave", "r1/c0/m0/s0")
+    slave_lr = _add_replica(bed, slave_gos, master_lr.oid,
+                            master_lr.contact_address, "master_slave",
+                            "slave")
+    assert slave_lr.semantics.data == {"preexisting": "yes"}
+    assert master_lr.replication.slaves  # the slave joined
+
+
+def test_write_at_master_propagates_to_slave(bed):
+    _mg, _sg, master_lr, slave_lr = _master_slave_pair(bed)
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def write():
+        lr = yield from runtime.bind(master_lr.oid)
+        yield from lr.invoke("put", {"key": "tetex", "value": "3.0"})
+
+    bed.run(write(), host=runtime.host)
+    bed.world.run(until=bed.world.now + 10)  # let the async push land
+    assert slave_lr.semantics.data == {"tetex": "3.0"}
+    assert slave_lr.replication.version == 1
+
+
+def test_client_near_slave_reads_locally_writes_to_master(bed):
+    _mg, _sg, master_lr, slave_lr = _master_slave_pair(bed)
+    # Client in the slave's region: GLS (fake, sorted) binds it there.
+    bed.gls.sort_site = bed.world.topology.site("r1/c0/m0/s1")
+    runtime = bed.runtime("client-1", "r1/c0/m0/s1")
+
+    def use():
+        lr = yield from runtime.bind(master_lr.oid)
+        yield from lr.invoke("put", {"key": "k", "value": "v"})
+        value = yield from lr.invoke("get", {"key": "k"})
+        return lr.replication.bound.role, value
+
+    bound_role, value = bed.run(use(), host=runtime.host)
+    assert bound_role == "slave"
+    # The write went to the master (the authoritative copy)...
+    assert master_lr.semantics.data == {"k": "v"}
+    # ...and the read was served by the bound replica.  Depending on
+    # push timing the slave may or may not have caught up yet — both
+    # outcomes are legal for asynchronous master/slave.
+    assert value in ("v", None)
+    assert master_lr.replication.writes_local == 1
+
+
+def test_slave_forwards_writes_when_master_unknown(bed):
+    _mg, _sg, master_lr, slave_lr = _master_slave_pair(bed)
+    # Strip the master CA from the GLS answer: client only sees the slave.
+    wires = bed.gls.records[master_lr.oid.hex]
+    bed.gls.records[master_lr.oid.hex] = [
+        w for w in wires if w["role"] == "slave"]
+    runtime = bed.runtime("client-1", "r1/c0/m0/s1")
+
+    def use():
+        lr = yield from runtime.bind(master_lr.oid)
+        yield from lr.invoke("put", {"key": "via-slave", "value": "1"})
+
+    bed.run(use(), host=runtime.host)
+    assert master_lr.semantics.data == {"via-slave": "1"}
+    assert slave_lr.replication.writes_forwarded >= 1
+
+
+def test_sync_push_makes_slaves_consistent_before_return(bed):
+    master_gos = bed.gos("gos-master", "r0/c0/m0/s0")
+    slave_gos = bed.gos("gos-slave", "r1/c0/m0/s0")
+
+    def create_master():
+        lr = yield from master_gos.create_local_replica(
+            None, "test.kv", "master_slave", "master",
+            protocol_options={"sync_push": True})
+        return lr
+
+    master_lr = bed.run(create_master())
+    slave_lr = _add_replica(bed, slave_gos, master_lr.oid,
+                            master_lr.contact_address, "master_slave",
+                            "slave")
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def write():
+        lr = yield from runtime.bind(master_lr.oid)
+        yield from lr.invoke("put", {"key": "sync", "value": "now"})
+        return dict(slave_lr.semantics.data)
+
+    data_at_return = bed.run(write(), host=runtime.host)
+    assert data_at_return == {"sync": "now"}
+
+
+# -- active replication -------------------------------------------------------
+
+
+def test_active_replication_applies_ops_everywhere(bed):
+    bed.register_counter()
+    seq_gos = bed.gos("gos-seq", "r0/c0/m0/s0")
+    rep_gos = bed.gos("gos-rep", "r1/c0/m0/s0")
+    seq_lr = _create_object(bed, seq_gos, "active", role="master",
+                            impl="test.counter")
+    rep_lr = _add_replica(bed, rep_gos, seq_lr.oid, seq_lr.contact_address,
+                          "active", "replica", impl="test.counter")
+    runtime = bed.runtime("client-1", "r0/c1/m0/s0")
+
+    def use():
+        lr = yield from runtime.bind(seq_lr.oid)
+        for _ in range(5):
+            yield from lr.invoke("increment", {"by": 2})
+        value = yield from lr.invoke("value")
+        return value
+
+    assert bed.run(use(), host=runtime.host) == 10
+    bed.world.run(until=bed.world.now + 10)
+    assert rep_lr.semantics.count == 10
+    assert rep_lr.replication.applied_seq == 5
+
+
+def test_active_replica_serves_reads_locally(bed):
+    bed.register_counter()
+    seq_gos = bed.gos("gos-seq", "r0/c0/m0/s0")
+    rep_gos = bed.gos("gos-rep", "r1/c0/m0/s0")
+    seq_lr = _create_object(bed, seq_gos, "active", role="master",
+                            impl="test.counter")
+    rep_lr = _add_replica(bed, rep_gos, seq_lr.oid, seq_lr.contact_address,
+                          "active", "replica", impl="test.counter")
+    bed.gls.sort_site = bed.world.topology.site("r1/c0/m0/s1")
+    runtime = bed.runtime("client-1", "r1/c0/m0/s1")
+
+    def use():
+        lr = yield from runtime.bind(seq_lr.oid)
+        yield from lr.invoke("value")
+        return lr.replication.bound.role
+
+    assert bed.run(use(), host=runtime.host) == "replica"
+    assert rep_lr.replication.reads_local >= 1
+
+
+def test_active_holdback_applies_in_order(bed):
+    """Out-of-order op delivery must not corrupt replica state."""
+    from repro.core.marshal import marshal_invocation
+
+    bed.register_counter()
+    seq_gos = bed.gos("gos-seq", "r0/c0/m0/s0")
+    rep_gos = bed.gos("gos-rep", "r0/c0/m0/s1")
+    seq_lr = _create_object(bed, seq_gos, "active", role="master",
+                            impl="test.counter")
+    rep_lr = _add_replica(bed, rep_gos, seq_lr.oid, seq_lr.contact_address,
+                          "active", "replica", impl="test.counter")
+    repl = rep_lr.replication
+
+    def deliver(seq, by):
+        message = {"type": "op_push", "seq": seq,
+                   "payload": marshal_invocation("increment", {"by": by})}
+        return bed.run(repl.handle_message(message, None))
+
+    deliver(3, 100)   # future op: held back
+    assert rep_lr.semantics.count == 0
+    deliver(1, 1)     # in order: applied immediately
+    assert rep_lr.semantics.count == 1
+    deliver(2, 10)    # fills the gap: 2 then 3 drain
+    assert rep_lr.semantics.count == 111
+    assert repl.applied_seq == 3
+    deliver(2, 10)    # duplicate: ignored
+    assert rep_lr.semantics.count == 111
+
+
+# -- caching -----------------------------------------------------------------
+
+
+def test_cache_serves_fresh_reads_locally(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    server_lr = _create_object(bed, gos, "client_server", role="server")
+    server_lr.semantics.data["cached"] = "value"
+    runtime = bed.runtime("client-1", "r1/c0/m0/s0")
+
+    def use():
+        lr = yield from runtime.bind(server_lr.oid, cache_ttl=60.0)
+        first = yield from lr.invoke("get", {"key": "cached"})
+        # Within the TTL these execute against the local copy.
+        for _ in range(10):
+            yield from lr.invoke("get", {"key": "cached"})
+        return first, lr.replication.pulls, lr.replication.reads_local
+
+    first, pulls, local_reads = bed.run(use(), host=runtime.host)
+    assert first == "value"
+    assert pulls == 1
+    assert local_reads == 10
+
+
+def test_cache_revalidates_after_ttl(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    server_lr = _create_object(bed, gos, "client_server", role="server")
+    runtime = bed.runtime("client-1", "r1/c0/m0/s0")
+
+    def use():
+        lr = yield from runtime.bind(server_lr.oid, cache_ttl=5.0)
+        yield from lr.invoke("size")
+        yield bed.world.sim.timeout(10.0)  # TTL expires
+        yield from lr.invoke("size")
+        return lr.replication.pulls, lr.replication.revalidations
+
+    pulls, revalidations = bed.run(use(), host=runtime.host)
+    assert pulls == 2
+    # Nothing changed server-side, so the second pull was answered
+    # "fresh" without a state transfer.
+    assert revalidations == 1
+
+
+def test_cache_write_invalidates_and_next_read_sees_new_state(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    server_lr = _create_object(bed, gos, "client_server", role="server")
+    runtime = bed.runtime("client-1", "r0/c1/m0/s0")
+
+    def use():
+        lr = yield from runtime.bind(server_lr.oid, cache_ttl=1000.0)
+        yield from lr.invoke("size")  # warm the cache
+        yield from lr.invoke("put", {"key": "new", "value": "x"})
+        value = yield from lr.invoke("get", {"key": "new"})
+        return value
+
+    assert bed.run(use(), host=runtime.host) == "x"
+    assert server_lr.semantics.data == {"new": "x"}
+
+
+def test_cache_against_master_slave_pulls_from_nearest(bed):
+    _mg, _sg, master_lr, slave_lr = _master_slave_pair(bed)
+    bed.gls.sort_site = bed.world.topology.site("r1/c0/m0/s1")
+    runtime = bed.runtime("client-1", "r1/c0/m0/s1")
+
+    def use():
+        lr = yield from runtime.bind(master_lr.oid, cache_ttl=60.0)
+        yield from lr.invoke("size")
+        return lr.replication.bound.role
+
+    assert bed.run(use(), host=runtime.host) == "slave"

@@ -1,0 +1,105 @@
+"""Unit tests for the run-time system and bind()."""
+
+import pytest
+
+from repro.core.ids import ContactAddress, ObjectId
+from repro.core.runtime import BindError
+from tests.util import GlobeBed
+
+
+@pytest.fixture
+def bed():
+    return GlobeBed()
+
+
+def _object_on(bed, gos_name="gos-1", site="r0/c0/m0/s0"):
+    gos = bed.gos(gos_name, site)
+
+    def create():
+        lr = yield from gos.create_local_replica(
+            None, "test.kv", "client_server", "server")
+        return lr
+
+    return bed.run(create())
+
+
+def test_bind_unknown_oid_fails(bed):
+    runtime = bed.runtime("client-1", "r0/c0/m0/s0")
+
+    def use():
+        try:
+            yield from runtime.bind(ObjectId.from_seed("nothing"))
+        except BindError:
+            return "no address"
+
+    assert bed.run(use(), host=runtime.host) == "no address"
+
+
+def test_bind_caches_representative(bed):
+    server_lr = _object_on(bed)
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def use():
+        first = yield from runtime.bind(server_lr.oid)
+        second = yield from runtime.bind(server_lr.oid)
+        return first is second
+
+    assert bed.run(use(), host=runtime.host) is True
+    assert runtime.binds_performed == 1
+
+
+def test_rebind_with_refresh_builds_new_representative(bed):
+    server_lr = _object_on(bed)
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def use():
+        first = yield from runtime.bind(server_lr.oid)
+        second = yield from runtime.bind(server_lr.oid, refresh=True)
+        return first is second
+
+    assert bed.run(use(), host=runtime.host) is False
+    assert runtime.binds_performed == 2
+
+
+def test_bind_unknown_protocol_fails(bed):
+    oid = ObjectId.from_seed("weird")
+    wire = ContactAddress("nowhere", 1, "exotic_protocol",
+                          impl_id="test.kv").to_wire()
+    bed.run(bed.gls.register(oid.hex, wire))
+    runtime = bed.runtime("client-1", "r0/c0/m0/s0")
+
+    def use():
+        try:
+            yield from runtime.bind(oid)
+        except BindError as exc:
+            return str(exc)
+
+    assert "exotic_protocol" in bed.run(use(), host=runtime.host)
+
+
+def test_unbind_detaches(bed):
+    server_lr = _object_on(bed)
+    runtime = bed.runtime("client-1", "r0/c0/m0/s1")
+
+    def use():
+        yield from runtime.bind(server_lr.oid)
+        runtime.unbind(server_lr.oid)
+        return len(runtime.bound)
+
+    assert bed.run(use(), host=runtime.host) == 0
+
+
+def test_bind_loads_implementation_once_per_host(bed):
+    server_lr = _object_on(bed)
+    runtime = bed.runtime("client-1", "r1/c0/m0/s0")
+    repo_host = bed.world.host("repo-1", "r0/c0/m0/s0")
+    bed.repository.add_repository_host(repo_host)
+
+    def use():
+        yield from runtime.bind(server_lr.oid)
+        yield from runtime.bind(server_lr.oid, refresh=True)
+        return bed.repository.downloads
+
+    # One download despite two binds: the implementation cache.
+    # (The GOS itself loaded without cost: no repo host existed yet.)
+    assert bed.run(use(), host=runtime.host) == 1

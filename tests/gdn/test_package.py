@@ -1,0 +1,88 @@
+"""Unit tests for the package DSO semantics."""
+
+import hashlib
+
+import pytest
+
+from repro.core.idl import Mode
+from repro.gdn.package import PackageSemantics
+
+
+@pytest.fixture
+def package():
+    pkg = PackageSemantics()
+    pkg.addFile("README", b"the gimp graphics package")
+    pkg.addFile("bin/gimp", b"\x7fELF" + b"\x00" * 100)
+    return pkg
+
+
+def test_interface_modes():
+    interface = PackageSemantics.interface
+    assert interface.mode("addFile") == Mode.WRITE
+    assert interface.mode("delFile") == Mode.WRITE
+    assert interface.mode("listContents") == Mode.READ
+    assert interface.mode("getFileContents") == Mode.READ
+    assert interface.mode("getFileDigest") == Mode.READ
+
+
+def test_list_contents_sorted_with_sizes(package):
+    contents = package.listContents()
+    assert contents == [
+        {"path": "README", "size": 25},
+        {"path": "bin/gimp", "size": 104},
+    ]
+
+
+def test_get_file_contents(package):
+    assert package.getFileContents("README") == b"the gimp graphics package"
+    with pytest.raises(KeyError):
+        package.getFileContents("missing")
+
+
+def test_digest_matches_contents(package):
+    expected = hashlib.sha256(b"the gimp graphics package").hexdigest()
+    assert package.getFileDigest("README") == expected
+
+
+def test_versioning(package):
+    v0 = package.getVersion()
+    package.addFile("NEWS", b"news")
+    assert package.getVersion() == v0 + 1
+    assert package.delFile("NEWS")
+    assert package.getVersion() == v0 + 2
+    assert not package.delFile("NEWS")  # no-op delete
+    assert package.getVersion() == v0 + 2
+
+
+def test_bad_paths_rejected(package):
+    with pytest.raises(ValueError):
+        package.addFile("/absolute", b"x")
+    with pytest.raises(ValueError):
+        package.addFile("", b"x")
+    with pytest.raises(ValueError):
+        package.addFile("notbytes", "string")
+
+
+def test_attributes(package):
+    package.setAttribute("category", "graphics")
+    assert package.getAttribute("category") == "graphics"
+    assert package.getAttribute("nope") is None
+    assert package.getAttributes() == {"category": "graphics"}
+
+
+def test_total_size(package):
+    assert package.totalSize() == 25 + 104
+
+
+def test_state_round_trip(package):
+    package.setAttribute("category", "graphics")
+    state = package.snapshot_state()
+    restored = PackageSemantics()
+    restored.restore_state(state)
+    assert restored.listContents() == package.listContents()
+    assert restored.getVersion() == package.getVersion()
+    assert restored.getAttributes() == package.getAttributes()
+    # The snapshot is a copy, not a view.
+    restored.addFile("extra", b"x")
+    assert package.getAttribute("category") == "graphics"
+    assert len(package.listContents()) == 2

@@ -1,0 +1,293 @@
+"""Integration tests for the Globe Location Service."""
+
+import pytest
+
+from repro.core.ids import ContactAddress, ObjectId
+from repro.gls.service import GlsClient, GlsError
+from repro.gls.tree import GlsTree
+from repro.sim.topology import Level, Topology
+from repro.sim.world import World
+
+
+def make_world(seed=21):
+    topo = Topology.balanced(regions=2, countries=2, cities=2, sites=2)
+    return World(topology=topo, seed=seed)
+
+
+def run(world, generator, host=None, limit=1e6):
+    process = (host.spawn(generator) if host is not None
+               else world.sim.process(generator))
+    return world.run_until(process, limit=limit)
+
+
+def ca_wire(world, host, role="server"):
+    return ContactAddress(host.name, 7100, "client_server", role=role,
+                          impl_id="test.kv",
+                          site_path=host.site.path).to_wire()
+
+
+@pytest.fixture
+def deployment():
+    world = make_world()
+    tree = GlsTree(world)
+    return world, tree
+
+
+def test_tree_has_a_node_per_domain(deployment):
+    world, tree = deployment
+    # 16 sites + 8 cities + 4 countries + 2 regions + 1 root = 31
+    assert len(tree.nodes) == 31
+    assert len(tree.root_nodes()) == 1
+    for path, subnodes in tree.nodes.items():
+        for node in subnodes:
+            assert node.domain.path == path
+
+
+def test_register_creates_pointer_path_to_root(deployment):
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    oid_hex = run(world, client.register(None, ca_wire(world, gos_host)),
+                  host=gos_host)
+
+    leaf = tree.node_for("r0/c0/m0/s0", oid_hex)
+    assert oid_hex in leaf.records
+    assert leaf.records[oid_hex].contact_addresses
+    for path in ("r0/c0/m0", "r0/c0", "r0", ""):
+        node = tree.node_for(path, oid_hex)
+        assert oid_hex in node.records, path
+        assert node.records[oid_hex].forwarding_pointers
+
+
+def test_lookup_same_site_is_local(deployment):
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    oid_hex = run(world, client.register(None, ca_wire(world, gos_host)),
+                  host=gos_host)
+
+    user = world.host("user-1", "r0/c0/m0/s0")
+    user_client = GlsClient(world, user, tree)
+    reply = run(world, user_client.lookup_detailed(oid_hex), host=user)
+    assert reply["hops"] == 0
+    assert reply["found"] == "r0/c0/m0/s0"
+    assert reply["cas"][0]["host"] == "gos-1"
+
+
+def test_lookup_hops_grow_with_distance(deployment):
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    oid_hex = run(world, client.register(None, ca_wire(world, gos_host)),
+                  host=gos_host)
+
+    hops_by_distance = []
+    for i, site in enumerate(["r0/c0/m0/s0", "r0/c0/m0/s1", "r0/c0/m1/s0",
+                              "r0/c1/m0/s0", "r1/c0/m0/s0"]):
+        user = world.host("user-%d" % i, site)
+        user_client = GlsClient(world, user, tree)
+        reply = run(world, user_client.lookup_detailed(oid_hex), host=user)
+        assert reply["cas"], site
+        hops_by_distance.append(reply["hops"])
+    assert hops_by_distance == sorted(hops_by_distance)
+    assert hops_by_distance[0] == 0
+    assert hops_by_distance[-1] > hops_by_distance[0]
+
+
+def test_lookup_unknown_oid_returns_empty(deployment):
+    world, tree = deployment
+    user = world.host("user-1", "r0/c0/m0/s0")
+    client = GlsClient(world, user, tree)
+    reply = run(world, client.lookup_detailed(ObjectId.from_seed("ghost").hex),
+                host=user)
+    assert reply["cas"] == []
+    assert reply["found"] is None
+
+
+def test_multiple_replicas_nearest_first(deployment):
+    world, tree = deployment
+    near_gos = world.host("gos-near", "r0/c0/m0/s1")
+    far_gos = world.host("gos-far", "r1/c0/m0/s0")
+    near_client = GlsClient(world, near_gos, tree)
+    far_client = GlsClient(world, far_gos, tree)
+    oid_hex = run(world, near_client.register(
+        None, ca_wire(world, near_gos, role="master")), host=near_gos)
+    run(world, far_client.register(
+        oid_hex, ca_wire(world, far_gos, role="slave")), host=far_gos)
+
+    user = world.host("user-1", "r0/c0/m0/s0")
+    user_client = GlsClient(world, user, tree)
+    wires = run(world, user_client.lookup(oid_hex), host=user)
+    # The GLS walk finds the near replica's record first (one hop up);
+    # even if both were returned, sorting puts the near one first.
+    assert wires[0]["host"] == "gos-near"
+
+
+def test_second_replica_stops_pointer_propagation_early(deployment):
+    world, tree = deployment
+    gos_a = world.host("gos-a", "r0/c0/m0/s0")
+    gos_b = world.host("gos-b", "r0/c0/m1/s0")  # same city tree branch
+    client_a = GlsClient(world, gos_a, tree)
+    client_b = GlsClient(world, gos_b, tree)
+    oid_hex = run(world, client_a.register(None, ca_wire(world, gos_a)),
+                  host=gos_a)
+    root = tree.node_for("", oid_hex)
+    root_updates_before = root.pointer_updates
+    run(world, client_b.register(oid_hex, ca_wire(world, gos_b)),
+        host=gos_b)
+    # The country node r0/c0 already had a record; propagation stopped
+    # there and the root saw no new pointer traffic.
+    assert root.pointer_updates == root_updates_before
+    country = tree.node_for("r0/c0", oid_hex)
+    assert len(country.records[oid_hex].forwarding_pointers) == 2
+
+
+def test_delete_cleans_up_pointer_path(deployment):
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    wire = ca_wire(world, gos_host)
+    oid_hex = run(world, client.register(None, wire), host=gos_host)
+    run(world, client.unregister(oid_hex, wire), host=gos_host)
+    for path in ("r0/c0/m0/s0", "r0/c0/m0", "r0/c0", "r0", ""):
+        node = tree.node_for(path, oid_hex)
+        assert oid_hex not in node.records, path
+
+
+def test_delete_keeps_other_replica_reachable(deployment):
+    world, tree = deployment
+    gos_a = world.host("gos-a", "r0/c0/m0/s0")
+    gos_b = world.host("gos-b", "r1/c0/m0/s0")
+    client_a = GlsClient(world, gos_a, tree)
+    client_b = GlsClient(world, gos_b, tree)
+    wire_a = ca_wire(world, gos_a)
+    oid_hex = run(world, client_a.register(None, wire_a), host=gos_a)
+    run(world, client_b.register(oid_hex, ca_wire(world, gos_b)), host=gos_b)
+    run(world, client_a.unregister(oid_hex, wire_a), host=gos_a)
+
+    user = world.host("user-1", "r0/c0/m0/s1")
+    user_client = GlsClient(world, user, tree)
+    wires = run(world, user_client.lookup(oid_hex), host=user)
+    assert [w["host"] for w in wires] == ["gos-b"]
+
+
+def test_store_level_places_address_at_intermediate_node(deployment):
+    """§3.5: mobile objects store addresses at intermediate nodes."""
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    wire = ca_wire(world, gos_host)
+    oid_hex = run(world, client.register(None, wire,
+                                         store_level=int(Level.COUNTRY)),
+                  host=gos_host)
+    leaf = tree.node_for("r0/c0/m0/s0", oid_hex)
+    assert oid_hex not in leaf.records
+    country = tree.node_for("r0/c0", oid_hex)
+    assert country.records[oid_hex].contact_addresses
+    # A client elsewhere in the country still resolves it.
+    user = world.host("user-1", "r0/c0/m1/s1")
+    user_client = GlsClient(world, user, tree)
+    reply = run(world, user_client.lookup_detailed(oid_hex), host=user)
+    assert reply["cas"][0]["host"] == "gos-1"
+    assert reply["found"] == "r0/c0"
+
+
+def test_partitioned_root_spreads_records(deployment_seed=33):
+    world = make_world(seed=deployment_seed)
+    tree = GlsTree(world, partition={"": 4})
+    assert len(tree.root_nodes()) == 4
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+
+    def register_many():
+        for i in range(40):
+            yield from client.register(None, ca_wire(world, gos_host))
+
+    run(world, register_many(), host=gos_host)
+    counts = [len(node.records) for node in tree.root_nodes()]
+    assert sum(counts) == 40
+    assert max(counts) < 40  # actually spread over subnodes
+    assert min(counts) > 0
+
+
+def test_unauthorized_registration_rejected():
+    world = make_world(seed=5)
+    tree = GlsTree(world, auth_key=b"gdn-secret")
+    gos_host = world.host("gos-legit", "r0/c0/m0/s0")
+    attacker_host = world.host("attacker", "r0/c0/m0/s1")
+    legit = GlsClient(world, gos_host, tree, auth_key=b"gdn-secret")
+    no_key = GlsClient(world, attacker_host, tree)
+    wrong_key = GlsClient(world, attacker_host, tree, auth_key=b"guess")
+
+    oid_hex = run(world, legit.register(None, ca_wire(world, gos_host)),
+                  host=gos_host)
+    assert oid_hex is not None
+
+    def attack(client):
+        try:
+            yield from client.register(None, ca_wire(world, attacker_host))
+            return "accepted"
+        except GlsError:
+            return "rejected"
+
+    assert run(world, attack(no_key), host=attacker_host) == "rejected"
+    assert run(world, attack(wrong_key), host=attacker_host) == "rejected"
+    leaf = tree.nodes["r0/c0/m0/s1"][0]
+    assert leaf.rejected_mutations == 2
+
+
+def test_node_crash_recovery_restores_records(deployment):
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    oid_hex = run(world, client.register(None, ca_wire(world, gos_host)),
+                  host=gos_host)
+
+    leaf = tree.node_for("r0/c0/m0/s0", oid_hex)
+    leaf.host.crash()
+    leaf.host.restart()
+    run(world, leaf.recover())
+    assert oid_hex in leaf.records
+    # And lookups work again end-to-end.
+    user = world.host("user-1", "r0/c0/m0/s1")
+    user_client = GlsClient(world, user, tree)
+    reply = run(world, user_client.lookup_detailed(oid_hex), host=user)
+    assert reply["cas"][0]["host"] == "gos-1"
+
+
+def test_allocated_oids_are_unique(deployment):
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+
+    def register_many():
+        oids = []
+        for _ in range(20):
+            oid_hex = yield from client.register(
+                None, ca_wire(world, gos_host))
+            oids.append(oid_hex)
+        return oids
+
+    oids = run(world, register_many(), host=gos_host)
+    assert len(set(oids)) == 20
+
+
+def test_lookup_latency_proportional_to_distance(deployment):
+    """The §3.5 claim behind experiment E2, in miniature."""
+    world, tree = deployment
+    gos_host = world.host("gos-1", "r0/c0/m0/s0")
+    client = GlsClient(world, gos_host, tree)
+    oid_hex = run(world, client.register(None, ca_wire(world, gos_host)),
+                  host=gos_host)
+
+    def timed_lookup(user):
+        user_client = GlsClient(world, user, tree)
+        start = world.now
+        yield from user_client.lookup_detailed(oid_hex)
+        return world.now - start
+
+    near = world.host("user-near", "r0/c0/m0/s0")
+    far = world.host("user-far", "r1/c1/m1/s1")
+    near_time = run(world, timed_lookup(near), host=near)
+    far_time = run(world, timed_lookup(far), host=far)
+    assert far_time > near_time * 3

@@ -1,0 +1,114 @@
+"""Property-based tests for GLS tree invariants.
+
+The paper's lookup algorithm rests on one structural invariant: *a node
+holds a record for an OID if and only if its parent holds a forwarding
+pointer leading to it* (the "tree of forwarding pointers from the
+root").  We drive random register/unregister schedules against a live
+service and verify, after every settle, that
+
+1. the pointer-path invariant holds at every directory node,
+2. every currently registered contact address is resolvable from any
+   site, and
+3. fully unregistered objects leave no residue anywhere.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.ids import ContactAddress, ObjectId
+from repro.gls.service import GlsClient
+from repro.gls.tree import GlsTree
+from repro.sim.topology import Topology
+from repro.sim.world import World
+
+SITES = ["r0/c0/m0/s0", "r0/c0/m1/s0", "r0/c1/m0/s0",
+         "r1/c0/m0/s0", "r1/c1/m1/s1"]
+
+# A schedule: per object, a subset of sites to register at, then a
+# subset of those to unregister.
+_schedules = st.lists(
+    st.tuples(st.sets(st.sampled_from(SITES), min_size=1, max_size=3),
+              st.sets(st.sampled_from(SITES), max_size=3)),
+    min_size=1, max_size=5)
+
+
+def _check_pointer_invariant(tree: GlsTree) -> None:
+    for path, subnodes in tree.nodes.items():
+        for node in subnodes:
+            for oid_hex, record in node.records.items():
+                assert not record.empty, \
+                    "empty record left at %r" % path
+                # Every pointer names a child holding a record.
+                for child_path in record.forwarding_pointers:
+                    child = tree.node_for(child_path, oid_hex)
+                    assert oid_hex in child.records, \
+                        "dangling pointer %s -> %s" % (path, child_path)
+                # Every non-root record is reachable from its parent.
+                if node.parent is not None:
+                    parent = tree.node_for(node.parent.domain_path,
+                                           oid_hex)
+                    assert path in parent.records[oid_hex] \
+                        .forwarding_pointers, \
+                        "unreachable record at %r" % path
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(schedule=_schedules)
+def test_random_schedules_preserve_invariants(schedule):
+    world = World(topology=Topology.balanced(2, 2, 2, 2), seed=99)
+    tree = GlsTree(world)
+    clients = {}
+    hosts = {}
+    for index, site in enumerate(SITES):
+        host = world.host("gos-%d" % index, site)
+        hosts[site] = host
+        clients[site] = GlsClient(world, host, tree)
+
+    def wire(site):
+        host = hosts[site]
+        return ContactAddress(host.name, 7100, "client_server",
+                              role="server", impl_id="x",
+                              site_path=site).to_wire()
+
+    live = {}  # oid -> set of registered sites
+
+    def driver():
+        for register_at, unregister_at in schedule:
+            oid_hex = None
+            for site in sorted(register_at):
+                oid_hex = yield from clients[site].register(
+                    oid_hex, wire(site))
+            live[oid_hex] = set(register_at)
+            for site in sorted(unregister_at & register_at):
+                yield from clients[site].unregister(oid_hex, wire(site))
+                live[oid_hex].discard(site)
+
+    world.run_until(world.sim.process(driver()), limit=1e9)
+    _check_pointer_invariant(tree)
+
+    # Every surviving registration resolves from everywhere; fully
+    # removed objects resolve nowhere.
+    prober_host = world.host("prober", "r1/c0/m1/s0")
+    prober = GlsClient(world, prober_host, tree)
+
+    def probe():
+        outcomes = {}
+        for oid_hex, sites in live.items():
+            reply = yield from prober.lookup_detailed(oid_hex)
+            outcomes[oid_hex] = {w["site"] for w in reply["cas"]}
+        return outcomes
+
+    outcomes = world.run_until(prober_host.spawn(probe()), limit=1e9)
+    for oid_hex, sites in live.items():
+        if sites:
+            assert outcomes[oid_hex], "live object unresolvable"
+            assert outcomes[oid_hex].issubset(sites | set())
+        else:
+            assert not outcomes[oid_hex], "ghost object resolvable"
+            # And no residue in any node.
+            for subnodes in tree.nodes.values():
+                for node in subnodes:
+                    assert oid_hex not in node.records

@@ -1,0 +1,41 @@
+"""Unit tests for GLS node records."""
+
+from repro.gls.records import NodeRecord
+
+
+def test_record_starts_empty():
+    record = NodeRecord()
+    assert record.empty
+    assert record.to_wire() == {"cas": [], "ptrs": []}
+
+
+def test_address_add_remove_idempotent():
+    record = NodeRecord()
+    wire = {"host": "h", "port": 1, "protocol": "p", "role": "server",
+            "impl": "i", "site": "s"}
+    assert record.add_address(wire)
+    assert not record.add_address(wire)  # duplicate
+    assert len(record.contact_addresses) == 1
+    assert record.remove_address(wire)
+    assert not record.remove_address(wire)
+    assert record.empty
+
+
+def test_pointer_add_remove_idempotent():
+    record = NodeRecord()
+    assert record.add_pointer("eu/nl")
+    assert not record.add_pointer("eu/nl")
+    assert record.remove_pointer("eu/nl")
+    assert not record.remove_pointer("eu/nl")
+    assert record.empty
+
+
+def test_wire_round_trip():
+    record = NodeRecord()
+    record.add_address({"host": "h", "port": 1, "protocol": "p",
+                        "role": "r", "impl": "i", "site": "s"})
+    record.add_pointer("eu")
+    record.add_pointer("na")
+    restored = NodeRecord.from_wire(record.to_wire())
+    assert restored.contact_addresses == record.contact_addresses
+    assert restored.forwarding_pointers == record.forwarding_pointers

@@ -1,0 +1,62 @@
+"""Tests for secondary zone refresh (SOA-style periodic transfer)."""
+
+from repro.gns.dns.records import ResourceRecord, RRType
+from repro.gns.dns.server import DNS_PORT, AuthoritativeServer
+from repro.gns.dns.zone import Zone
+from repro.sim.topology import Level, Topology
+from repro.sim.world import World
+
+
+def _build(world, refresh_interval=None):
+    primary_host = world.host("dns-primary", "r0/c0/m0/s0")
+    primary = AuthoritativeServer(world, primary_host,
+                                  require_tsig_for_updates=False)
+    zone = Zone("example.nl", primary_host="dns-primary")
+    zone.add_record(ResourceRecord("a.example.nl", RRType.TXT, 60, "v1"))
+    # No secondaries wired for NOTIFY: refresh is the only channel.
+    primary.add_primary_zone(zone, secondaries=[])
+    primary.start()
+
+    secondary_host = world.host("dns-secondary", "r1/c0/m0/s0")
+    secondary = AuthoritativeServer(world, secondary_host,
+                                    refresh_interval=refresh_interval)
+    secondary.add_secondary_zone("example.nl", ("dns-primary", DNS_PORT))
+    secondary.start()
+    world.run_until(secondary_host.spawn(secondary.initial_transfers()),
+                    limit=1e6)
+    return primary, secondary
+
+
+def test_refresh_picks_up_missed_updates():
+    world = World(topology=Topology.balanced(2, 1, 1, 1), seed=8)
+    primary, secondary = _build(world, refresh_interval=50.0)
+    # Mutate the primary directly (no NOTIFY is sent: no secondaries
+    # are registered for it).
+    zone = primary.zones["example.nl"]
+    zone.add_record(ResourceRecord("b.example.nl", RRType.TXT, 60, "v2"))
+    zone.bump_serial()
+    assert not secondary.zones["example.nl"].rrset("b.example.nl",
+                                                   RRType.TXT)
+    world.run(until=world.now + 120.0)
+    assert secondary.zones["example.nl"].rrset("b.example.nl", RRType.TXT)
+    assert secondary.transfers_fetched >= 1
+
+
+def test_refresh_is_cheap_when_unchanged():
+    world = World(topology=Topology.balanced(2, 1, 1, 1), seed=8)
+    _primary, secondary = _build(world, refresh_interval=20.0)
+    fetched_before = secondary.transfers_fetched
+    world.run(until=world.now + 100.0)
+    # Several refresh rounds ran; none replaced the zone.
+    assert secondary.transfers_fetched == fetched_before
+
+
+def test_no_refresh_without_interval():
+    world = World(topology=Topology.balanced(2, 1, 1, 1), seed=8)
+    primary, secondary = _build(world, refresh_interval=None)
+    zone = primary.zones["example.nl"]
+    zone.add_record(ResourceRecord("c.example.nl", RRType.TXT, 60, "v3"))
+    zone.bump_serial()
+    world.run(until=world.now + 200.0)
+    assert not secondary.zones["example.nl"].rrset("c.example.nl",
+                                                   RRType.TXT)

@@ -1,0 +1,242 @@
+"""Unit/integration tests for the Globe Object Server."""
+
+import pytest
+
+from repro.core.ids import ObjectId
+from repro.gos.server import NotAuthorized
+from repro.sim import rpc
+from tests.util import GlobeBed
+
+
+@pytest.fixture
+def bed():
+    return GlobeBed()
+
+
+def test_create_object_allocates_oid_and_registers(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+
+    def create():
+        lr = yield from gos.create_local_replica(
+            None, "test.kv", "client_server", "server")
+        return lr
+
+    lr = bed.run(create())
+    assert lr.oid.hex in bed.gls.records
+    assert bed.gls.records[lr.oid.hex][0]["host"] == "gos-1"
+    assert lr.role == "server"
+
+
+def test_control_commands_over_rpc(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    tool = bed.world.host("modtool", "r0/c0/m0/s1")
+
+    def drive():
+        created = yield from rpc.call(tool, gos.host, gos.port,
+                                      "create_object",
+                                      {"impl_id": "test.kv",
+                                       "protocol": "client_server",
+                                       "role": "server"})
+        listed = yield from rpc.call(tool, gos.host, gos.port,
+                                     "list_replicas", {})
+        removed = yield from rpc.call(tool, gos.host, gos.port,
+                                      "remove_replica",
+                                      {"oid": created["oid"]})
+        after = yield from rpc.call(tool, gos.host, gos.port,
+                                    "list_replicas", {})
+        return created, listed, removed, after
+
+    created, listed, removed, after = bed.run(drive(), host=tool)
+    assert listed["replicas"][0]["oid"] == created["oid"]
+    assert removed["removed"] == created["oid"]
+    assert after["replicas"] == []
+    # Removal also deregistered the contact address.
+    assert bed.gls.records[created["oid"]] == []
+
+
+def test_remove_unknown_replica_faults(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    tool = bed.world.host("modtool", "r0/c0/m0/s1")
+
+    def drive():
+        try:
+            yield from rpc.call(tool, gos.host, gos.port, "remove_replica",
+                                {"oid": ObjectId.from_seed("ghost").hex})
+        except rpc.RpcFault as fault:
+            return fault.kind
+
+    assert bed.run(drive(), host=tool) == "GosError"
+
+
+def test_dso_message_to_missing_replica_is_an_error_reply(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    client = bed.world.host("client", "r0/c0/m0/s1")
+
+    def drive():
+        reply = yield from rpc.call(
+            client, gos.host, gos.port, "dso_message",
+            {"oid": ObjectId.from_seed("ghost").hex, "msg": {"type": "pull"}})
+        return reply
+
+    reply = bed.run(drive(), host=client)
+    assert reply["type"] == "error"
+
+
+def test_authorizer_blocks_control_commands(bed):
+    def deny_all(ctx, operation, oid_hex=None):
+        return False
+
+    gos = bed.gos("gos-1", "r0/c0/m0/s0", authorizer=deny_all)
+    tool = bed.world.host("modtool", "r0/c0/m0/s1")
+
+    def drive():
+        try:
+            yield from rpc.call(tool, gos.host, gos.port, "create_object",
+                                {"impl_id": "test.kv",
+                                 "protocol": "client_server",
+                                 "role": "server"})
+        except rpc.RpcFault as fault:
+            return fault.kind
+
+    assert bed.run(drive(), host=tool) == "NotAuthorized"
+
+
+def test_authorizer_blocks_write_invocations_but_not_reads(bed):
+    from repro.core.marshal import marshal_invocation
+
+    def modify_needs_principal(ctx, operation, oid_hex=None):
+        if operation == "modify":
+            return ctx.peer_principal == "moderator"
+        return True
+
+    gos = bed.gos("gos-1", "r0/c0/m0/s0",
+                  authorizer=modify_needs_principal)
+
+    def create():
+        lr = yield from gos.create_local_replica(
+            None, "test.kv", "client_server", "server")
+        return lr
+
+    lr = bed.run(create())
+    client = bed.world.host("client", "r0/c0/m0/s1")
+
+    def drive():
+        write = {"type": "invoke", "mode": "write",
+                 "payload": marshal_invocation("put", {"key": "k",
+                                                       "value": "v"})}
+        read = {"type": "invoke", "mode": "read",
+                "payload": marshal_invocation("size", {})}
+        outcome = {}
+        try:
+            yield from rpc.call(client, gos.host, gos.port, "dso_message",
+                                {"oid": lr.oid.hex, "msg": write})
+            outcome["write"] = "allowed"
+        except rpc.RpcFault as fault:
+            outcome["write"] = fault.kind
+        reply = yield from rpc.call(client, gos.host, gos.port, "dso_message",
+                                    {"oid": lr.oid.hex, "msg": read})
+        outcome["read"] = reply["type"]
+        return outcome
+
+    outcome = bed.run(drive(), host=client)
+    assert outcome["write"] == "NotAuthorized"
+    assert outcome["read"] == "result"
+
+
+def test_graceful_shutdown_and_recover_preserves_state(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+
+    def create_and_fill():
+        lr = yield from gos.create_local_replica(
+            None, "test.kv", "client_server", "server")
+        lr.semantics.put("persist", "me")
+        yield from gos.shutdown()
+        return lr.oid
+
+    oid = bed.run(create_and_fill())
+    gos.host.crash()
+    gos.host.restart()
+
+    def recover():
+        yield from gos.recover()
+
+    bed.run(recover())
+    assert gos.replicas[oid.hex].semantics.data == {"persist": "me"}
+
+
+def test_crash_without_checkpoint_recovers_creation_time_state(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+
+    def create():
+        lr = yield from gos.create_local_replica(
+            None, "test.kv", "client_server", "server")
+        # Mutate *after* the creation checkpoint, then crash hard.
+        lr.semantics.put("lost", "update")
+        return lr.oid
+
+    oid = bed.run(create())
+    gos.host.crash()
+    gos.host.restart()
+    bed.run(gos.recover())
+    # The uncheckpointed write is gone; the replica itself survived.
+    assert oid.hex in gos.replicas
+    assert gos.replicas[oid.hex].semantics.data == {}
+
+
+def test_recovered_slave_rejoins_and_catches_up(bed):
+    master_gos = bed.gos("gos-master", "r0/c0/m0/s0")
+    slave_gos = bed.gos("gos-slave", "r1/c0/m0/s0")
+
+    def build():
+        master = yield from master_gos.create_local_replica(
+            None, "test.kv", "master_slave", "master")
+        yield from slave_gos.create_local_replica(
+            master.oid, "test.kv", "master_slave", "slave",
+            master=master.contact_address)
+        return master
+
+    master_lr = bed.run(build())
+    slave_gos.host.crash()
+    # While the slave is down, the master takes a write.
+    master_lr.semantics.put("while-down", "missed")
+    master_lr.replication.version += 1
+    slave_gos.host.restart()
+    bed.run(slave_gos.recover())
+    slave_lr = slave_gos.replicas[master_lr.oid.hex]
+    assert slave_lr.semantics.data == {"while-down": "missed"}
+    assert slave_lr.replication.version == master_lr.replication.version
+
+
+def test_checkpoint_command_persists_current_state(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    tool = bed.world.host("modtool", "r0/c0/m0/s1")
+
+    def create():
+        lr = yield from gos.create_local_replica(
+            None, "test.kv", "client_server", "server")
+        return lr
+
+    lr = bed.run(create())
+    lr.semantics.put("check", "pointed")
+
+    def checkpoint():
+        reply = yield from rpc.call(tool, gos.host, gos.port,
+                                    "checkpoint", {})
+        return reply
+
+    assert bed.run(checkpoint(), host=tool) == {"checkpointed": 1}
+    gos.host.crash()
+    gos.host.restart()
+    bed.run(gos.recover())
+    assert gos.replicas[lr.oid.hex].semantics.data == {"check": "pointed"}
+
+
+def test_ping(bed):
+    gos = bed.gos("gos-1", "r0/c0/m0/s0")
+    client = bed.world.host("client", "r0/c0/m0/s1")
+
+    def drive():
+        value = yield from rpc.call(client, gos.host, gos.port, "ping", {})
+        return value
+
+    assert bed.run(drive(), host=client) == "pong"

@@ -1,0 +1,69 @@
+"""Unit tests for certificates and certificate authorities."""
+
+import random
+
+import pytest
+
+from repro.security.acl import Role, role_attribute, roles_from_certificate
+from repro.security.certs import (Certificate, CertificateAuthority,
+                                  CertificateError, Credentials)
+from repro.security.crypto import RsaKeyPair
+
+
+@pytest.fixture(scope="module")
+def ca():
+    return CertificateAuthority("gdn-ca", random.Random(1))
+
+
+def test_ca_root_is_self_verifying(ca):
+    assert ca.verify(ca.root_certificate)
+
+
+def test_issue_and_verify(ca):
+    subject_keys = RsaKeyPair.generate(random.Random(2), bits=512)
+    certificate = ca.issue("gos-1", subject_keys.public,
+                           role_attribute(Role.GDN_HOST))
+    assert ca.verify(certificate)
+    assert certificate.subject == "gos-1"
+    assert roles_from_certificate(certificate) == {Role.GDN_HOST}
+
+
+def test_forged_certificate_rejected(ca):
+    subject_keys = RsaKeyPair.generate(random.Random(3), bits=512)
+    forged = Certificate("admin", subject_keys.public, ca.name,
+                         role_attribute(Role.ADMIN), signature=12345)
+    assert not ca.verify(forged)
+
+
+def test_attribute_tampering_invalidates_signature(ca):
+    subject_keys = RsaKeyPair.generate(random.Random(4), bits=512)
+    certificate = ca.issue("mod-1", subject_keys.public,
+                           role_attribute(Role.MODERATOR))
+    certificate.attributes["gdn-role"] = Role.ADMIN.value
+    assert not ca.verify(certificate)
+
+
+def test_wire_round_trip(ca):
+    subject_keys = RsaKeyPair.generate(random.Random(5), bits=512)
+    certificate = ca.issue("host-1", subject_keys.public)
+    restored = Certificate.from_wire(certificate.to_wire())
+    assert ca.verify(restored)
+    assert restored.wire_size() >= 700
+    with pytest.raises(CertificateError):
+        Certificate.from_wire({"subject": "x"})
+
+
+def test_credentials_trust(ca):
+    alice = Credentials.issue_for("alice", ca, random.Random(6))
+    bob = Credentials.issue_for("bob", ca, random.Random(7))
+    assert alice.trusts(bob.certificate)
+    other_ca = CertificateAuthority("rogue-ca", random.Random(8))
+    mallory = Credentials.issue_for("mallory", other_ca, random.Random(9))
+    assert not alice.trusts(mallory.certificate)
+
+
+def test_unknown_role_strings_ignored(ca):
+    subject_keys = RsaKeyPair.generate(random.Random(10), bits=512)
+    certificate = ca.issue("weird", subject_keys.public,
+                           {"gdn-role": "moderator,galactic-emperor"})
+    assert roles_from_certificate(certificate) == {Role.MODERATOR}

@@ -1,0 +1,273 @@
+"""Integration tests for TLS-style channels over simulated connections."""
+
+import random
+
+import pytest
+
+from repro.security.acl import Role, role_attribute
+from repro.security.certs import CertificateAuthority, Credentials
+from repro.security.tls import (HandshakeError, SecurityError,
+                                client_wrapper, server_factory)
+from repro.sim.topology import Topology
+from repro.sim.transport import ConnectionClosed
+from repro.sim.world import World
+
+
+@pytest.fixture(scope="module")
+def pki():
+    rng = random.Random(77)
+    ca = CertificateAuthority("gdn-ca", rng)
+    return {
+        "ca": ca,
+        "server": Credentials.issue_for("gos-1", ca, rng,
+                                        role_attribute(Role.GDN_HOST)),
+        "client": Credentials.issue_for("modtool-1", ca, rng,
+                                        role_attribute(Role.MODERATOR)),
+        "browser": Credentials.issue_for("browser-trust", ca, rng),
+        "rogue": Credentials.issue_for(
+            "gos-1", CertificateAuthority("rogue-ca", random.Random(5)),
+            random.Random(6)),
+    }
+
+
+@pytest.fixture
+def world():
+    return World(topology=Topology.balanced(2, 2, 2, 2), seed=13)
+
+
+def _secure_pair(world, pki, require_client_cert=False, encryption=True,
+                 client_credentials="client"):
+    """Handshake a channel pair; returns (client_channel, server_channel)."""
+    a = world.host("client-host", "r0/c0/m0/s0")
+    b = world.host("server-host", "r0/c1/m0/s0")
+    listener = b.listen(443)
+    factory = server_factory(pki["server"],
+                             require_client_cert=require_client_cert,
+                             encryption=encryption)
+    result = {}
+
+    def server():
+        conn = yield listener.accept()
+        channel = yield from factory(conn)
+        result["server"] = channel
+
+    def client():
+        conn = yield from a.connect(b, 443)
+        wrap = client_wrapper(credentials=pki.get(client_credentials),
+                              trust=pki["browser"], encryption=encryption)
+        channel = yield from wrap(conn)
+        result["client"] = channel
+
+    b.spawn(server())
+    proc = a.spawn(client())
+    world.run_until(proc, limit=1e6)
+    return result["client"], result["server"]
+
+
+def test_one_way_auth_identities(world, pki):
+    client_channel, server_channel = _secure_pair(world, pki,
+                                                  client_credentials=None)
+    # The server authenticated itself to the client...
+    assert client_channel.peer_principal == "gos-1"
+    # ...but the anonymous client has no verified identity.
+    assert server_channel.peer_principal is None
+
+
+def test_two_way_auth_identities(world, pki):
+    client_channel, server_channel = _secure_pair(world, pki,
+                                                  require_client_cert=True)
+    assert client_channel.peer_principal == "gos-1"
+    assert server_channel.peer_principal == "modtool-1"
+
+
+def test_data_flows_both_ways(world, pki):
+    client_channel, server_channel = _secure_pair(world, pki)
+    transcript = []
+
+    def server_side():
+        message = yield server_channel.recv()
+        transcript.append(("server", message))
+        server_channel.send({"reply": message["n"] + 1})
+
+    def client_side():
+        client_channel.send({"n": 41})
+        reply = yield client_channel.recv()
+        transcript.append(("client", reply))
+
+    world.get_host("server-host").spawn(server_side())
+    proc = world.get_host("client-host").spawn(client_side())
+    world.run_until(proc, limit=1e6)
+    assert ("server", {"n": 41}) in transcript
+    assert ("client", {"reply": 42}) in transcript
+
+
+def test_rogue_server_certificate_rejected(world, pki):
+    a = world.host("client-host", "r0/c0/m0/s0")
+    b = world.host("mitm-host", "r0/c0/m0/s1")
+    listener = b.listen(443)
+    factory = server_factory(pki["rogue"])  # signed by an untrusted CA
+
+    def server():
+        try:
+            conn = yield listener.accept()
+            yield from factory(conn)
+        except (HandshakeError, ConnectionClosed):
+            pass
+
+    def client():
+        conn = yield from a.connect(b, 443)
+        wrap = client_wrapper(credentials=pki["client"])
+        try:
+            yield from wrap(conn)
+        except HandshakeError as exc:
+            return "rejected: %s" % exc
+
+    b.spawn(server())
+    proc = a.spawn(client())
+    outcome = world.run_until(proc, limit=1e6)
+    assert outcome.startswith("rejected")
+    assert "untrusted" in outcome
+
+
+def test_server_identity_pinning(world, pki):
+    a = world.host("client-host", "r0/c0/m0/s0")
+    b = world.host("server-host", "r0/c0/m0/s1")
+    listener = b.listen(443)
+    factory = server_factory(pki["server"])  # legitimate "gos-1"
+
+    def server():
+        try:
+            conn = yield listener.accept()
+            yield from factory(conn)
+        except (HandshakeError, ConnectionClosed):
+            pass
+
+    def client():
+        conn = yield from a.connect(b, 443)
+        wrap = client_wrapper(credentials=pki["client"],
+                              expected_server="gos-2")
+        try:
+            yield from wrap(conn)
+        except HandshakeError:
+            return "mismatch detected"
+
+    b.spawn(server())
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=1e6) == "mismatch detected"
+
+
+def test_client_without_cert_rejected_in_two_way_mode(world, pki):
+    a = world.host("client-host", "r0/c0/m0/s0")
+    b = world.host("server-host", "r0/c0/m0/s1")
+    listener = b.listen(443)
+    factory = server_factory(pki["server"], require_client_cert=True)
+    server_outcome = {}
+
+    def server():
+        conn = yield listener.accept()
+        try:
+            yield from factory(conn)
+            server_outcome["result"] = "accepted"
+        except (HandshakeError, ConnectionClosed):
+            # Either side may notice first: the server refuses the
+            # missing certificate, or sees the client abort the
+            # handshake by closing.
+            server_outcome["result"] = "refused"
+
+    def client():
+        conn = yield from a.connect(b, 443)
+        wrap = client_wrapper(trust=pki["browser"])  # no client cert
+        try:
+            yield from wrap(conn)
+        except HandshakeError:
+            return "failed"
+
+    b.spawn(server())
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=1e6) == "failed"
+    world.run(until=world.now + 5)  # let the server observe the abort
+    assert server_outcome["result"] == "refused"
+
+
+def test_tampered_record_detected(world, pki):
+    client_channel, server_channel = _secure_pair(world, pki)
+
+    def attack():
+        # Inject a forged frame directly on the underlying connection,
+        # bypassing the secure channel (an on-path attacker on the TCP
+        # stream).
+        client_channel.conn.send({"s": 1, "p": {"evil": True},
+                                  "m": b"\x00" * 32})
+        yield world.sim.timeout(0)
+
+    def victim():
+        try:
+            yield server_channel.recv()
+        except SecurityError:
+            return "tamper detected"
+
+    world.get_host("client-host").spawn(attack())
+    proc = world.get_host("server-host").spawn(victim())
+    assert world.run_until(proc, limit=1e6) == "tamper detected"
+    assert server_channel.integrity_failures == 1
+
+
+def test_replayed_record_detected(world, pki):
+    client_channel, server_channel = _secure_pair(world, pki)
+
+    def replay():
+        client_channel.send({"n": 1})
+        first_frame, wire = None, None
+        # Capture and re-send the exact frame (sequence number 1).
+        # The pump has queued it; emulate the attacker replaying by
+        # recomputing the identical frame.
+        mac = client_channel._mac(client_channel._send_key, 1, {"n": 1})
+        yield world.sim.timeout(1.0)  # let the original arrive
+        client_channel.conn.send({"s": 1, "p": {"n": 1}, "m": mac})
+
+    def victim():
+        first = yield server_channel.recv()
+        try:
+            yield server_channel.recv()
+        except SecurityError:
+            return ("ok", first)
+
+    world.get_host("client-host").spawn(replay())
+    proc = world.get_host("server-host").spawn(victim())
+    outcome = world.run_until(proc, limit=1e6)
+    assert outcome == ("ok", {"n": 1})
+
+
+def test_encryption_negotiation_and_cost(world, pki):
+    """Integrity-only channels beat encrypting channels on CPU time —
+    the §6.3 trade-off in miniature."""
+
+    def transfer_time(encryption):
+        local_world = World(topology=Topology.balanced(2, 2, 2, 2), seed=13)
+        client_channel, server_channel = _secure_pair(
+            local_world, pki, encryption=encryption)
+
+        def sender():
+            start = local_world.now
+            client_channel.send({"data": b"x" * 200_000})
+            message = yield server_channel.recv()
+            return local_world.now - start
+
+        proc = local_world.get_host("client-host").spawn(sender())
+        return local_world.run_until(proc, limit=1e6)
+
+    assert transfer_time(encryption=False) < transfer_time(encryption=True)
+
+
+def test_channel_close_propagates(world, pki):
+    client_channel, server_channel = _secure_pair(world, pki)
+
+    def server_side():
+        try:
+            yield server_channel.recv()
+        except ConnectionClosed:
+            return "closed"
+
+    proc = world.get_host("server-host").spawn(server_side())
+    client_channel.close()
+    assert world.run_until(proc, limit=1e6) == "closed"

@@ -1,0 +1,59 @@
+"""Unit tests for scheduled failure injection."""
+
+import pytest
+
+from repro.sim.failures import FailureInjector
+from repro.sim.topology import Level, Topology
+from repro.sim.world import World
+
+
+@pytest.fixture
+def world():
+    return World(topology=Topology.balanced(2, 2, 2, 2), seed=1)
+
+
+def test_crash_and_restart_schedule(world):
+    host = world.host("victim", "r0/c0/m0/s0")
+    injector = FailureInjector(world)
+    recovered = []
+    injector.crash_restart(host, crash_at=5.0, restart_at=10.0,
+                           recover=lambda: recovered.append(world.now))
+    world.run(until=4.0)
+    assert host.up
+    world.run(until=6.0)
+    assert not host.up
+    world.run(until=11.0)
+    assert host.up
+    assert recovered == [10.0]
+    assert [(t, kind) for t, kind, _ in injector.log] == [
+        (5.0, "crash"), (10.0, "restart")]
+
+
+def test_restart_before_crash_rejected(world):
+    host = world.host("victim", "r0/c0/m0/s0")
+    injector = FailureInjector(world)
+    with pytest.raises(ValueError):
+        injector.crash_restart(host, crash_at=5.0, restart_at=5.0)
+
+
+def test_partition_window(world):
+    injector = FailureInjector(world)
+    domain = world.topology.domain("r0/c0")
+    injector.partition_domain(domain, start=2.0, duration=3.0)
+    inside = world.topology.site("r0/c0/m0/s0")
+    outside = world.topology.site("r1/c0/m0/s0")
+
+    world.run(until=1.0)
+    assert world.network.deliver(inside, outside, "h", 1, lambda: None)
+    world.run(until=3.0)
+    assert not world.network.deliver(inside, outside, "h", 1, lambda: None)
+    world.run(until=6.0)
+    assert world.network.deliver(inside, outside, "h", 1, lambda: None)
+
+
+def test_loss_setting_validated(world):
+    injector = FailureInjector(world)
+    with pytest.raises(ValueError):
+        injector.set_loss(Level.WORLD, 1.5)
+    injector.set_loss(Level.WORLD, 0.25)
+    assert world.network.params.loss[Level.WORLD] == 0.25

@@ -1,0 +1,390 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim.kernel import (AllOf, AnyOf, Interrupt, SimulationError,
+                              Simulator)
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(2.5)
+        return "done"
+
+    process = sim.process(proc())
+    sim.run()
+    assert sim.now == 2.5
+    assert process.value == "done"
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+
+    def proc():
+        value = yield sim.timeout(1.0, value=42)
+        return value
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.value == 42
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(delay, tag):
+        yield sim.timeout(delay)
+        order.append(tag)
+
+    sim.process(waiter(3.0, "c"))
+    sim.process(waiter(1.0, "a"))
+    sim.process(waiter(2.0, "b"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_same_time_events_fire_in_schedule_order():
+    sim = Simulator()
+    order = []
+
+    def waiter(tag):
+        yield sim.timeout(1.0)
+        order.append(tag)
+
+    for tag in ("first", "second", "third"):
+        sim.process(waiter(tag))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_run_until_limits_clock():
+    sim = Simulator()
+
+    def ticker():
+        while True:
+            yield sim.timeout(1.0)
+
+    sim.process(ticker())
+    sim.run(until=5.5)
+    assert sim.now == 5.5
+
+
+def test_run_backwards_rejected():
+    sim = Simulator()
+    sim.run(until=5.0)
+    with pytest.raises(SimulationError):
+        sim.run(until=1.0)
+
+
+def test_manual_event_succeed():
+    sim = Simulator()
+    gate = sim.event()
+    results = []
+
+    def waiter():
+        value = yield gate
+        results.append(value)
+
+    def opener():
+        yield sim.timeout(1.0)
+        gate.succeed("open")
+
+    sim.process(waiter())
+    sim.process(opener())
+    sim.run()
+    assert results == ["open"]
+
+
+def test_event_failure_propagates_into_process():
+    sim = Simulator()
+    gate = sim.event()
+
+    def waiter():
+        try:
+            yield gate
+        except ValueError as exc:
+            return "caught %s" % exc
+
+    process = sim.process(waiter())
+    gate.fail(ValueError("boom"))
+    sim.run()
+    assert process.value == "caught boom"
+
+
+def test_unhandled_process_failure_raises_from_run():
+    sim = Simulator()
+
+    def broken():
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.process(broken())
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_double_trigger_rejected():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed(1)
+    with pytest.raises(SimulationError):
+        event.succeed(2)
+
+
+def test_yield_already_triggered_event():
+    sim = Simulator()
+    event = sim.event()
+    event.succeed("early")
+
+    def proc():
+        value = yield event
+        return value
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.value == "early"
+
+
+def test_yielding_non_event_fails_process():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    process = sim.process(bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+    assert process.triggered
+    assert not process.ok
+
+
+def test_process_return_value_chains():
+    sim = Simulator()
+
+    def inner():
+        yield sim.timeout(1.0)
+        return 7
+
+    def outer():
+        value = yield sim.process(inner())
+        return value * 2
+
+    process = sim.process(outer())
+    sim.run()
+    assert process.value == 14
+
+
+def test_interrupt_delivers_cause():
+    sim = Simulator()
+
+    def sleeper():
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, sim.now)
+
+    process = sim.process(sleeper())
+
+    def interrupter():
+        yield sim.timeout(1.0)
+        process.interrupt("wake up")
+
+    sim.process(interrupter())
+    sim.run()
+    assert process.value == ("interrupted", "wake up", 1.0)
+
+
+def test_interrupt_finished_process_rejected():
+    sim = Simulator()
+
+    def quick():
+        yield sim.timeout(0.1)
+
+    process = sim.process(quick())
+    sim.run()
+    with pytest.raises(SimulationError):
+        process.interrupt()
+
+
+def test_kill_releases_waiters():
+    sim = Simulator()
+
+    def sleeper():
+        yield sim.timeout(100.0)
+        return "never"
+
+    victim = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(1.0)
+        victim.kill()
+
+    def waiter():
+        value = yield victim
+        return ("victim finished", value, sim.now)
+
+    watcher = sim.process(waiter())
+    sim.process(killer())
+    sim.run()
+    # The watcher is released at kill time; the victim's abandoned
+    # timer still pops (harmlessly) at t=100.
+    assert watcher.value == ("victim finished", None, 1.0)
+    assert not victim.alive
+
+
+def test_anyof_fires_on_first():
+    sim = Simulator()
+
+    def racer():
+        fast = sim.timeout(1.0, value="fast")
+        slow = sim.timeout(5.0, value="slow")
+        results = yield AnyOf(sim, [fast, slow])
+        return results
+
+    process = sim.process(racer())
+    sim.run()
+    assert list(process.value.values()) == ["fast"]
+    assert sim.now == 5.0  # the slow timer still fires
+
+
+def test_allof_waits_for_all():
+    sim = Simulator()
+
+    def gather():
+        a = sim.timeout(1.0, value="a")
+        b = sim.timeout(2.0, value="b")
+        results = yield AllOf(sim, [a, b])
+        return sorted(results.values())
+
+    process = sim.process(gather())
+    sim.run()
+    assert process.value == ["a", "b"]
+
+
+def test_anyof_empty_fires_immediately():
+    sim = Simulator()
+
+    def proc():
+        results = yield AnyOf(sim, [])
+        return results
+
+    process = sim.process(proc())
+    sim.run()
+    assert process.value == {}
+
+
+def test_store_fifo_ordering():
+    sim = Simulator()
+    store = sim.store()
+    received = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            received.append(item)
+
+    def producer():
+        yield sim.timeout(1.0)
+        store.put("x")
+        store.put("y")
+        yield sim.timeout(1.0)
+        store.put("z")
+
+    sim.process(consumer())
+    sim.process(producer())
+    sim.run()
+    assert received == ["x", "y", "z"]
+
+
+def test_store_getters_served_in_order():
+    sim = Simulator()
+    store = sim.store()
+    received = []
+
+    def consumer(tag):
+        item = yield store.get()
+        received.append((tag, item))
+
+    sim.process(consumer("first"))
+    sim.process(consumer("second"))
+    store.put(1)
+    store.put(2)
+    sim.run()
+    assert received == [("first", 1), ("second", 2)]
+
+
+def test_resource_limits_concurrency():
+    sim = Simulator()
+    resource = sim.resource(capacity=2)
+    active = []
+    peak = []
+
+    def worker(tag):
+        yield resource.acquire()
+        active.append(tag)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.remove(tag)
+        resource.release()
+
+    for tag in range(5):
+        sim.process(worker(tag))
+    sim.run()
+    assert max(peak) == 2
+    assert sim.now == pytest.approx(3.0)
+
+
+def test_resource_release_without_acquire_rejected():
+    sim = Simulator()
+    resource = sim.resource()
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_run_until_complete_returns_value():
+    sim = Simulator()
+
+    def proc():
+        yield sim.timeout(1.0)
+        return "finished"
+
+    process = sim.process(proc())
+    assert sim.run_until_complete(process) == "finished"
+
+
+def test_run_until_complete_detects_deadlock():
+    sim = Simulator()
+    never = sim.event()
+
+    def proc():
+        yield never
+
+    process = sim.process(proc())
+    with pytest.raises(SimulationError, match="did not complete"):
+        sim.run_until_complete(process)
+
+
+def test_determinism_two_runs_identical():
+    def build():
+        sim = Simulator()
+        log = []
+
+        def noisy(tag, delay):
+            yield sim.timeout(delay)
+            log.append((tag, sim.now))
+
+        for i in range(10):
+            sim.process(noisy(i, (i * 7) % 5 + 0.5))
+        sim.run()
+        return log
+
+    assert build() == build()

@@ -1,0 +1,131 @@
+"""Unit tests for the network cost model and traffic accounting."""
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.network import (DEFAULT_BANDWIDTH, DEFAULT_LATENCY,
+                               LinkParameters, Network, NetworkError)
+from repro.sim.topology import Level, Topology
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    topo = Topology.balanced(regions=2, countries=2, cities=2, sites=2)
+    return Network(sim, topo)
+
+
+def test_latency_tiering(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    assert net.latency(a, a) == DEFAULT_LATENCY[Level.SITE]
+    assert (net.latency(a, topo.site("r0/c0/m0/s1"))
+            == DEFAULT_LATENCY[Level.CITY])
+    assert (net.latency(a, topo.site("r1/c0/m0/s0"))
+            == DEFAULT_LATENCY[Level.WORLD])
+
+
+def test_latency_monotone_in_distance(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    others = ["r0/c0/m0/s0", "r0/c0/m0/s1", "r0/c0/m1/s0",
+              "r0/c1/m0/s0", "r1/c0/m0/s0"]
+    latencies = [net.latency(a, topo.site(p)) for p in others]
+    assert latencies == sorted(latencies)
+
+
+def test_transfer_delay_includes_bandwidth(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    b = topo.site("r1/c0/m0/s0")
+    size = 1_500_000
+    expected = (DEFAULT_LATENCY[Level.WORLD]
+                + size / DEFAULT_BANDWIDTH[Level.WORLD])
+    assert net.transfer_delay(a, b, size) == pytest.approx(expected)
+
+
+def test_delivery_and_metering(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    b = topo.site("r1/c0/m0/s0")
+    arrived = []
+    ok = net.deliver(a, b, "hostB", 1000, lambda: arrived.append(net.sim.now))
+    assert ok
+    net.sim.run()
+    assert len(arrived) == 1
+    assert arrived[0] == pytest.approx(net.transfer_delay(a, b, 1000))
+    assert net.meter.bytes_by_level[Level.WORLD] == 1000
+    assert net.meter.total_messages == 1
+
+
+def test_wide_area_bytes_counts_region_and_world(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    net.deliver(a, topo.site("r0/c0/m0/s1"), "h", 10, lambda: None)
+    net.deliver(a, topo.site("r0/c1/m0/s0"), "h", 100, lambda: None)
+    net.deliver(a, topo.site("r1/c0/m0/s0"), "h", 1000, lambda: None)
+    assert net.meter.wide_area_bytes() == 1100
+    assert net.meter.wide_area_bytes(min_level=Level.WORLD) == 1000
+
+
+def test_down_host_drops(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    net.set_host_down("dead")
+    delivered = net.deliver(a, a, "dead", 10, lambda: None)
+    assert not delivered
+    assert net.meter.dropped_messages == 1
+    net.set_host_down("dead", down=False)
+    assert net.deliver(a, a, "dead", 10, lambda: None)
+
+
+def test_partition_blocks_boundary_crossing(net):
+    topo = net.topology
+    inside = topo.site("r0/c0/m0/s0")
+    inside2 = topo.site("r0/c0/m1/s0")
+    outside = topo.site("r1/c0/m0/s0")
+    net.partition_domain(topo.domain("r0"))
+    assert not net.deliver(inside, outside, "h", 1, lambda: None)
+    assert not net.deliver(outside, inside, "h", 1, lambda: None)
+    assert net.deliver(inside, inside2, "h", 1, lambda: None)
+    net.heal_domain(topo.domain("r0"))
+    assert net.deliver(inside, outside, "h", 1, lambda: None)
+
+
+def test_unreliable_loss_is_deterministic_per_seed():
+    def drops(seed):
+        sim = Simulator()
+        topo = Topology.balanced(regions=2, countries=1, cities=1, sites=1)
+        params = LinkParameters(loss={Level.WORLD: 0.5})
+        net = Network(sim, topo, params, seed=seed)
+        a = topo.site("r0/c0/m0/s0")
+        b = topo.site("r1/c0/m0/s0")
+        return [net.deliver(a, b, "h", 1, lambda: None) for _ in range(50)]
+
+    assert drops(1) == drops(1)
+    assert drops(1) != drops(2)  # overwhelmingly likely
+
+
+def test_reliable_traffic_ignores_loss():
+    sim = Simulator()
+    topo = Topology.balanced(regions=2, countries=1, cities=1, sites=1)
+    params = LinkParameters(loss={Level.WORLD: 1.0})
+    net = Network(sim, topo, params)
+    a = topo.site("r0/c0/m0/s0")
+    b = topo.site("r1/c0/m0/s0")
+    assert net.deliver(a, b, "h", 1, lambda: None, reliable=True)
+
+
+def test_jitter_fraction_validation():
+    with pytest.raises(NetworkError):
+        LinkParameters(jitter_fraction=1.5)
+
+
+def test_meter_reset_and_snapshot(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    net.deliver(a, a, "h", 42, lambda: None)
+    snap = net.meter.snapshot()
+    assert snap["SITE"] == 42
+    net.meter.reset()
+    assert net.meter.total_bytes == 0

@@ -1,0 +1,268 @@
+"""Unit tests for connection and datagram RPC."""
+
+import pytest
+
+from repro.sim import rpc
+from repro.sim.rpc import (RpcChannel, RpcFault, RpcServer, RpcTimeout,
+                           UdpRpcClient, UdpRpcServer)
+from repro.sim.topology import Level, Topology
+from repro.sim.world import World
+
+
+@pytest.fixture
+def world():
+    topo = Topology.balanced(regions=2, countries=2, cities=2, sites=2)
+    return World(topology=topo, seed=3)
+
+
+def _echo_server(world, host, port=7000):
+    server = RpcServer(host, port)
+    server.register("echo", lambda ctx, args: args.get("text"))
+    server.register("add", lambda ctx, args: args["a"] + args["b"])
+
+    def slow(ctx, args):
+        yield world.sim.timeout(args.get("delay", 1.0))
+        return "slept"
+
+    server.register("slow", slow)
+
+    def fails(ctx, args):
+        raise ValueError("deliberate")
+
+    server.register("fails", fails)
+    server.start()
+    return server
+
+
+def test_one_shot_call(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c1/m0/s0")
+    _echo_server(world, b)
+
+    def client():
+        value = yield from rpc.call(a, b, 7000, "echo", {"text": "hi"})
+        return value
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == "hi"
+
+
+def test_remote_fault_propagates(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _echo_server(world, b)
+
+    def client():
+        try:
+            yield from rpc.call(a, b, 7000, "fails", {})
+        except RpcFault as fault:
+            return (fault.kind, fault.message)
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == ("ValueError", "deliberate")
+
+
+def test_unknown_method_fault(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _echo_server(world, b)
+
+    def client():
+        try:
+            yield from rpc.call(a, b, 7000, "nope", {})
+        except RpcFault as fault:
+            return fault.kind
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == "NoSuchMethod"
+
+
+def test_channel_reuse_is_cheaper_than_reconnect(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r1/c0/m0/s0")
+    _echo_server(world, b)
+
+    def reuse():
+        channel = yield from RpcChannel.open(a, b, 7000)
+        start = world.now
+        for i in range(5):
+            yield from channel.call("add", {"a": i, "b": 1})
+        channel.close()
+        return world.now - start
+
+    proc = a.spawn(reuse())
+    reused_duration = world.run_until(proc, limit=1000)
+
+    world2 = World(topology=Topology.balanced(2, 2, 2, 2), seed=3)
+    a2 = world2.host("client", "r0/c0/m0/s0")
+    b2 = world2.host("server", "r1/c0/m0/s0")
+    _echo_server(world2, b2)
+
+    def reconnect():
+        start = world2.now
+        for i in range(5):
+            yield from rpc.call(a2, b2, 7000, "add", {"a": i, "b": 1})
+        return world2.now - start
+
+    proc2 = a2.spawn(reconnect())
+    reconnect_duration = world2.run_until(proc2, limit=1000)
+    assert reused_duration < reconnect_duration
+
+
+def test_concurrent_requests_interleave(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _echo_server(world, b)
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 7000)
+        start = world.now
+        # Issue two slow calls through two sub-processes sharing a channel.
+        first = world.sim.process(channel.call("slow", {"delay": 2.0}))
+        second = world.sim.process(channel.call("slow", {"delay": 2.0}))
+        yield first
+        yield second
+        channel.close()
+        return world.now - start
+
+    proc = a.spawn(client())
+    duration = world.run_until(proc, limit=100)
+    assert duration < 3.0  # served concurrently, not 4s serially
+
+
+def test_server_concurrency_limit(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    server = RpcServer(b, 7001, concurrency=1)
+
+    def slow(ctx, args):
+        yield world.sim.timeout(1.0)
+        return "done"
+
+    server.register("slow", slow)
+    server.start()
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 7001)
+        start = world.now
+        first = world.sim.process(channel.call("slow", {}))
+        second = world.sim.process(channel.call("slow", {}))
+        yield first
+        yield second
+        channel.close()
+        return world.now - start
+
+    proc = a.spawn(client())
+    duration = world.run_until(proc, limit=100)
+    assert duration >= 2.0  # serialised by the concurrency limit
+
+
+def test_call_timeout(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _echo_server(world, b)
+
+    def client():
+        try:
+            yield from rpc.call(a, b, 7000, "slow", {"delay": 10.0},
+                                timeout=1.0)
+        except RpcTimeout:
+            return "timed out"
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == "timed out"
+
+
+def test_context_carries_source(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    server = RpcServer(b, 7000)
+    seen = []
+    server.register("who", lambda ctx, args: seen.append(ctx.src_host))
+    server.start()
+
+    def client():
+        yield from rpc.call(a, b, 7000, "who", {})
+
+    proc = a.spawn(client())
+    world.run_until(proc, limit=100)
+    assert seen == ["client"]
+
+
+# -- UDP RPC -----------------------------------------------------------------
+
+
+def _udp_server(world, host, port=5300):
+    server = UdpRpcServer(host, port)
+    server.register("lookup", lambda ctx, args: {"found": args["key"].upper()})
+
+    def fails(ctx, args):
+        raise KeyError("missing")
+
+    server.register("fails", fails)
+    server.start()
+    return server
+
+
+def test_udp_rpc_round_trip(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c1/m0/s0")
+    _udp_server(world, b)
+    client = UdpRpcClient(a)
+
+    def run():
+        value = yield from client.call(b, 5300, "lookup", {"key": "abc"})
+        return value
+
+    proc = a.spawn(run())
+    assert world.run_until(proc, limit=100) == {"found": "ABC"}
+
+
+def test_udp_rpc_fault(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")
+    _udp_server(world, b)
+    client = UdpRpcClient(a)
+
+    def run():
+        try:
+            yield from client.call(b, 5300, "fails", {})
+        except RpcFault as fault:
+            return fault.kind
+
+    proc = a.spawn(run())
+    assert world.run_until(proc, limit=100) == "KeyError"
+
+
+def test_udp_rpc_retries_through_loss(world):
+    # 60% loss on world links: with 3 retries the call should usually
+    # get through; the seed is fixed so this specific run succeeds.
+    world.network.params.loss[Level.WORLD] = 0.6
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r1/c0/m0/s0")
+    _udp_server(world, b)
+    client = UdpRpcClient(a, timeout=1.0, retries=8)
+
+    def run():
+        value = yield from client.call(b, 5300, "lookup", {"key": "x"})
+        return value
+
+    proc = a.spawn(run())
+    assert world.run_until(proc, limit=1000) == {"found": "X"}
+
+
+def test_udp_rpc_times_out_against_dead_host(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")
+    _udp_server(world, b)
+    b.crash()
+    client = UdpRpcClient(a, timeout=0.5, retries=2)
+
+    def run():
+        try:
+            yield from client.call(b, 5300, "lookup", {"key": "x"})
+        except RpcTimeout:
+            return "gave up at %.1f" % world.now
+
+    proc = a.spawn(run())
+    assert world.run_until(proc, limit=100) == "gave up at 1.5"

@@ -1,0 +1,96 @@
+"""Tests for finite-capacity RPC servers (workers + service time)."""
+
+import pytest
+
+from repro.sim.rpc import RpcChannel, RpcServer
+from repro.sim.topology import Topology
+from repro.sim.world import World
+
+
+@pytest.fixture
+def world():
+    return World(topology=Topology.balanced(2, 1, 1, 2), seed=23)
+
+
+def _capacity_server(world, host, workers, service_time):
+    server = RpcServer(host, 9000, concurrency=workers,
+                       service_time=service_time)
+    server.register("work", lambda ctx, args: args["n"])
+    server.start()
+    return server
+
+
+def test_service_time_charged_per_request(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    server = _capacity_server(world, b, workers=1, service_time=0.5)
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 9000)
+        start = world.now
+        yield from channel.call("work", {"n": 1})
+        channel.close()
+        return world.now - start
+
+    elapsed = world.run_until(a.spawn(client()), limit=1e6)
+    assert elapsed >= 0.5
+    assert server.busy_time == pytest.approx(0.5)
+
+
+def test_requests_queue_beyond_worker_pool(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _capacity_server(world, b, workers=2, service_time=1.0)
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 9000)
+        start = world.now
+        calls = [world.sim.process(channel.call("work", {"n": i}))
+                 for i in range(6)]
+        for call in calls:
+            yield call
+        channel.close()
+        return world.now - start
+
+    elapsed = world.run_until(a.spawn(client()), limit=1e6)
+    # Six 1 s jobs over two workers: three serial batches.
+    assert elapsed >= 3.0
+    assert elapsed < 4.5
+
+
+def test_unlimited_server_does_not_queue(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    server = RpcServer(b, 9000, service_time=1.0)  # no worker limit
+    server.register("work", lambda ctx, args: args["n"])
+    server.start()
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 9000)
+        start = world.now
+        calls = [world.sim.process(channel.call("work", {"n": i}))
+                 for i in range(6)]
+        for call in calls:
+            yield call
+        channel.close()
+        return world.now - start
+
+    elapsed = world.run_until(a.spawn(client()), limit=1e6)
+    assert elapsed < 2.0  # all six in parallel
+
+
+def test_stopped_server_refuses_new_connections(world):
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    server = _capacity_server(world, b, workers=1, service_time=0.0)
+    server.stop()
+
+    from repro.sim.transport import ConnectRefused
+
+    def client():
+        try:
+            yield from RpcChannel.open(a, b, 9000)
+        except ConnectRefused:
+            return "refused"
+
+    assert world.run_until(a.spawn(client()), limit=1e6) == "refused"

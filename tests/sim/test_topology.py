@@ -1,0 +1,93 @@
+"""Unit tests for the hierarchical topology."""
+
+import pytest
+
+from repro.sim.topology import Domain, Level, Topology, TopologyError
+
+
+@pytest.fixture
+def topo():
+    return Topology.from_spec({
+        "eu": {"nl": {"ams": ["vu", "uva"], "rot": ["eur"]},
+               "de": {"ber": ["tu"]}},
+        "na": {"us": {"nyc": ["nyu"], "sfo": ["ucb"]}},
+    })
+
+
+def test_site_paths(topo):
+    site = topo.site("eu/nl/ams/vu")
+    assert site.level == Level.SITE
+    assert site.path == "eu/nl/ams/vu"
+
+
+def test_unknown_site_raises(topo):
+    with pytest.raises(TopologyError):
+        topo.site("eu/nl/ams/nowhere")
+
+
+def test_domain_lookup(topo):
+    country = topo.domain("eu/nl")
+    assert country.level == Level.COUNTRY
+    assert topo.domain("") is topo.world
+
+
+def test_separation_levels(topo):
+    vu = topo.site("eu/nl/ams/vu")
+    assert Topology.separation(vu, vu) == Level.SITE
+    assert Topology.separation(vu, topo.site("eu/nl/ams/uva")) == Level.CITY
+    assert Topology.separation(vu, topo.site("eu/nl/rot/eur")) == Level.COUNTRY
+    assert Topology.separation(vu, topo.site("eu/de/ber/tu")) == Level.REGION
+    assert Topology.separation(vu, topo.site("na/us/nyc/nyu")) == Level.WORLD
+
+
+def test_lca_is_shared_ancestor(topo):
+    vu = topo.site("eu/nl/ams/vu")
+    eur = topo.site("eu/nl/rot/eur")
+    assert Topology.lca(vu, eur) is topo.domain("eu/nl")
+
+
+def test_ancestors_end_at_root(topo):
+    vu = topo.site("eu/nl/ams/vu")
+    chain = list(vu.ancestors())
+    assert chain[0] is vu
+    assert chain[-1] is topo.world
+    assert [d.level for d in chain] == [
+        Level.SITE, Level.CITY, Level.COUNTRY, Level.REGION, Level.WORLD]
+
+
+def test_sites_enumeration(topo):
+    nl_sites = [s.path for s in topo.domain("eu/nl").sites()]
+    assert nl_sites == ["eu/nl/ams/vu", "eu/nl/ams/uva", "eu/nl/rot/eur"]
+
+
+def test_subtree_preorder(topo):
+    eu = topo.domain("eu")
+    names = [d.name for d in eu.subtree()]
+    assert names[0] == "eu"
+    assert "nl" in names and "vu" in names
+
+
+def test_balanced_shape():
+    topo = Topology.balanced(regions=2, countries=3, cities=2, sites=2)
+    assert len(topo.sites) == 2 * 3 * 2 * 2
+    assert topo.site("r1/c2/m1/s0").level == Level.SITE
+
+
+def test_level_skip_rejected():
+    topo = Topology()
+    with pytest.raises(TopologyError):
+        Domain("bad-city", Level.CITY, topo.world)
+
+
+def test_duplicate_child_rejected():
+    topo = Topology()
+    topo.add_region("eu")
+    with pytest.raises(TopologyError):
+        topo.add_region("eu")
+
+
+def test_disjoint_topologies_share_no_ancestor():
+    a = Topology().add_region("eu")
+    b = Topology().add_region("eu")
+    with pytest.raises(TopologyError):
+        Topology.lca(a, b)

@@ -1,0 +1,297 @@
+"""Unit tests for hosts, datagrams and connections."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError
+from repro.sim.network import LinkParameters
+from repro.sim.topology import Level, Topology
+from repro.sim.transport import (ConnectionClosed, ConnectRefused,
+                                 ConnectTimeout, HostDown, TransportError)
+from repro.sim.world import World
+
+
+@pytest.fixture
+def world():
+    topo = Topology.balanced(regions=2, countries=2, cities=2, sites=2)
+    return World(topology=topo, seed=7)
+
+
+def test_host_creation_and_lookup(world):
+    host = world.host("alpha", "r0/c0/m0/s0")
+    assert world.get_host("alpha") is host
+    with pytest.raises(ValueError):
+        world.host("alpha", "r0/c0/m0/s1")
+
+
+# -- UDP -------------------------------------------------------------------
+
+
+def test_udp_round_trip(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r1/c0/m0/s0")
+    received = []
+
+    def receiver():
+        sock = b.udp_socket(5000)
+        datagram = yield sock.recv()
+        received.append((datagram.payload, world.now))
+
+    def sender():
+        sock = a.udp_socket()
+        sock.send_to(b, 5000, {"op": "ping"})
+        yield world.sim.timeout(0)
+
+    b.spawn(receiver())
+    a.spawn(sender())
+    world.run()
+    assert received and received[0][0] == {"op": "ping"}
+    assert received[0][1] > 0.150  # at least one world-level latency
+
+
+def test_udp_to_unbound_port_is_silently_dropped(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    sock = a.udp_socket()
+    sock.send_to(b, 9999, "nobody home")
+    world.run()  # no error raised
+
+
+def test_udp_duplicate_bind_rejected(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    a.udp_socket(5000)
+    with pytest.raises(TransportError):
+        a.udp_socket(5000)
+
+
+def test_udp_loss(world):
+    world.network.params.loss[Level.WORLD] = 1.0
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r1/c0/m0/s0")
+    received = []
+
+    def receiver():
+        sock = b.udp_socket(5000)
+        datagram = yield sock.recv()
+        received.append(datagram)
+
+    b.spawn(receiver())
+    a.udp_socket().send_to(b, 5000, "lost")
+    world.run(until=10.0)
+    assert not received
+    assert world.network.meter.dropped_messages == 1
+
+
+# -- TCP -------------------------------------------------------------------
+
+
+def test_connect_and_exchange(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c1/m0/s0")
+    listener = b.listen(80)
+    transcript = []
+
+    def server():
+        conn = yield listener.accept()
+        request = yield conn.recv()
+        transcript.append(("server got", request))
+        conn.send("response:" + request)
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        conn.send("hello")
+        reply = yield conn.recv()
+        transcript.append(("client got", reply))
+        conn.close()
+
+    b.spawn(server())
+    proc = a.spawn(client())
+    world.run_until(proc, limit=100)
+    assert ("server got", "hello") in transcript
+    assert ("client got", "response:hello") in transcript
+
+
+def test_connect_costs_a_round_trip(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r1/c0/m0/s0")
+    b.listen(80)
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        return world.now
+
+    proc = a.spawn(client())
+    connected_at = world.run_until(proc, limit=100)
+    assert connected_at >= world.network.rtt(a.site, b.site)
+
+
+def test_connect_refused_when_no_listener(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+
+    def client():
+        try:
+            yield from a.connect(b, 81)
+        except ConnectRefused:
+            return "refused"
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == "refused"
+
+
+def test_connect_timeout_to_down_host(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    b.listen(80)
+    b.crash()
+
+    def client():
+        try:
+            yield from a.connect(b, 80, timeout=1.0)
+        except ConnectTimeout:
+            return "timeout"
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == "timeout"
+
+
+def test_fifo_preserved_across_message_sizes(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r1/c0/m0/s0")
+    listener = b.listen(80)
+    received = []
+
+    def server():
+        conn = yield listener.accept()
+        for _ in range(2):
+            msg = yield conn.recv()
+            received.append(msg["tag"])
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        conn.send({"tag": "big"}, size=5_000_000)
+        conn.send({"tag": "small"}, size=10)
+
+    b.spawn(server())
+    a.spawn(client())
+    world.run()
+    assert received == ["big", "small"]
+
+
+def test_recv_after_close_raises(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    listener = b.listen(80)
+
+    def server():
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        assert msg == "bye"
+        try:
+            yield conn.recv()
+        except ConnectionClosed:
+            return "eof"
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        conn.send("bye")
+        conn.close()
+
+    server_proc = b.spawn(server())
+    a.spawn(client())
+    assert world.run_until(server_proc, limit=100) == "eof"
+
+
+def test_send_after_close_raises(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    b.listen(80)
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        conn.close()
+        try:
+            conn.send("too late")
+        except ConnectionClosed:
+            return "rejected"
+
+    proc = a.spawn(client())
+    assert world.run_until(proc, limit=100) == "rejected"
+
+
+def test_crash_breaks_connections_and_kills_processes(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    listener = b.listen(80)
+    outcome = []
+
+    def server():
+        conn = yield listener.accept()
+        while True:
+            yield conn.recv()
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        conn.send("one")
+        yield world.sim.timeout(1.0)
+        b.crash()
+        try:
+            yield conn.recv()
+        except ConnectionClosed:
+            outcome.append("client saw break")
+
+    server_proc = b.spawn(server())
+    a.spawn(client())
+    world.run(until=50)
+    assert outcome == ["client saw break"]
+    assert not server_proc.alive
+
+
+def test_spawn_on_crashed_host_rejected(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    a.crash()
+    with pytest.raises(HostDown):
+        a.spawn(iter(()))
+
+
+def test_restart_allows_new_daemons(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    b.listen(80)
+    b.crash()
+    b.restart()
+    # Old listener is gone; binding the port again must work.
+    listener = b.listen(80)
+
+    def server():
+        conn = yield listener.accept()
+        msg = yield conn.recv()
+        return msg
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        conn.send("after reboot")
+
+    server_proc = b.spawn(server())
+    a.spawn(client())
+    assert world.run_until(server_proc, limit=100) == "after reboot"
+
+
+def test_bytes_accounting_on_connection(world):
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    listener = b.listen(80)
+    sizes = {}
+
+    def server():
+        conn = yield listener.accept()
+        yield conn.recv()
+        sizes["received"] = conn.bytes_received
+
+    def client():
+        conn = yield from a.connect(b, 80)
+        sizes["sent"] = conn.send("payload", size=1000)
+
+    b.spawn(server())
+    a.spawn(client())
+    world.run()
+    assert sizes["sent"] == sizes["received"] > 1000

@@ -1,0 +1,149 @@
+"""Unit tests for workload generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.topology import Topology
+from repro.workloads.packages import generate_corpus, synthetic_file
+from repro.workloads.population import ClientPopulation
+from repro.workloads.webtrace import make_web_trace
+from repro.workloads.zipf import ZipfSampler
+
+
+# -- Zipf ---------------------------------------------------------------------
+
+
+def test_zipf_determinism():
+    a = ZipfSampler(100, 1.0, random.Random(5)).sample_many(50)
+    b = ZipfSampler(100, 1.0, random.Random(5)).sample_many(50)
+    assert a == b
+
+
+def test_zipf_skew():
+    sampler = ZipfSampler(100, 1.2, random.Random(7))
+    draws = sampler.sample_many(5000)
+    top = sum(1 for rank in draws if rank < 10)
+    assert top > len(draws) * 0.5  # head dominates
+
+
+def test_zipf_alpha_zero_is_uniform():
+    sampler = ZipfSampler(10, 0.0, random.Random(3))
+    assert sampler.probability(0) == pytest.approx(0.1)
+    assert sampler.probability(9) == pytest.approx(0.1)
+
+
+def test_zipf_probabilities_sum_to_one():
+    sampler = ZipfSampler(50, 0.8, random.Random(1))
+    assert sum(sampler.probability(rank)
+               for rank in range(50)) == pytest.approx(1.0)
+
+
+def test_zipf_validation():
+    with pytest.raises(ValueError):
+        ZipfSampler(0, 1.0, random.Random(1))
+    with pytest.raises(ValueError):
+        ZipfSampler(10, -1.0, random.Random(1))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=1, max_value=200),
+       st.floats(min_value=0.0, max_value=3.0))
+def test_zipf_samples_in_range_property(n, alpha):
+    sampler = ZipfSampler(n, alpha, random.Random(11))
+    for _ in range(20):
+        assert 0 <= sampler.sample() < n
+
+
+# -- packages --------------------------------------------------------------------
+
+
+def test_synthetic_file_deterministic_and_sized():
+    assert synthetic_file("a", 100) == synthetic_file("a", 100)
+    assert synthetic_file("a", 100) != synthetic_file("b", 100)
+    assert len(synthetic_file("x", 10)) == 10
+    assert len(synthetic_file("x", 100_000)) == 100_000
+
+
+def test_corpus_names_unique_and_hierarchical():
+    corpus = generate_corpus(40, random.Random(2))
+    names = [spec.name for spec in corpus]
+    assert len(set(names)) == 40
+    assert all(name.startswith("/apps/") for name in names)
+    assert any("gimp" in name for name in names)
+
+
+def test_corpus_materialization_matches_spec():
+    spec = generate_corpus(3, random.Random(4))[0]
+    files = spec.materialize()
+    assert set(files) == set(spec.file_sizes)
+    for path, data in files.items():
+        assert len(data) == spec.file_sizes[path]
+    assert spec.total_size == sum(len(d) for d in files.values())
+    assert spec.largest_file in files
+
+
+# -- populations -------------------------------------------------------------------
+
+
+@pytest.fixture
+def topology():
+    return Topology.balanced(regions=3, countries=2, cities=1, sites=2)
+
+
+def test_request_stream_sorted_and_typed(topology):
+    population = ClientPopulation(topology, 10, random.Random(5),
+                                  write_fraction=[0.5] * 10)
+    stream = population.generate(200)
+    times = [request.time for request in stream]
+    assert times == sorted(times)
+    kinds = {request.kind for request in stream}
+    assert kinds == {"read", "write"}
+
+
+def test_home_region_concentration(topology):
+    population = ClientPopulation(topology, 1, random.Random(9),
+                                  home_share=0.9)
+    stream = population.generate(500)
+    home = population.home_region[0].path
+    by_region = stream.reads_by_region(0)
+    assert by_region[home] > sum(by_region.values()) * 0.7
+
+
+def test_writes_counted_per_object(topology):
+    population = ClientPopulation(topology, 5, random.Random(6),
+                                  write_fraction=[1.0, 0, 0, 0, 0])
+    stream = population.generate(300)
+    assert stream.writes(0) > 0
+    assert stream.writes(1) == 0
+
+
+# -- web trace -----------------------------------------------------------------------
+
+
+def test_web_trace_shape(topology):
+    documents, stream = make_web_trace(topology, random.Random(8),
+                                       document_count=30,
+                                       request_count=500)
+    assert len(documents) == 30
+    assert len(stream) == 500
+    classes = {doc.update_class for doc in documents}
+    assert "static" in classes
+    # Hot documents actually receive writes; static ones never do.
+    hot = [doc.index for doc in documents if doc.update_class == "hot"]
+    static = [doc.index for doc in documents
+              if doc.update_class == "static"]
+    assert sum(stream.writes(index) for index in hot) > 0
+    assert all(stream.writes(index) == 0 for index in static)
+
+
+def test_web_trace_deterministic(topology):
+    docs_a, stream_a = make_web_trace(topology, random.Random(3),
+                                      document_count=10, request_count=100)
+    docs_b, stream_b = make_web_trace(topology, random.Random(3),
+                                      document_count=10, request_count=100)
+    assert [d.size for d in docs_a] == [d.size for d in docs_b]
+    assert [(r.time, r.kind, r.object_index) for r in stream_a] == \
+        [(r.time, r.kind, r.object_index) for r in stream_b]
