@@ -1,0 +1,136 @@
+"""Kernel/RPC fast-path throughput — the perf-trajectory benchmark.
+
+Three microbenchmarks of the hottest path in the repo, each persisting
+a comparable JSON record (events/sec, requests/sec, peak heap size)
+via ``conftest.save_json`` so successive PRs can be compared:
+
+* pure event-loop throughput (chained + parallel timers),
+* guard-timer churn (create/cancel, the RPC deadline pattern), and
+* UDP RPC echo round-trips over the simulated network — the pattern
+  every Globe Location Service lookup follows.
+
+The echo benchmark also asserts the cancellation invariant: a
+successful call must leave *no* timer behind, so the heap stays small
+no matter how many requests a run pushes through.
+"""
+
+import time
+
+from conftest import save_json
+
+from repro.sim.kernel import Simulator
+from repro.sim.rpc import UdpRpcClient, UdpRpcServer
+from repro.sim.topology import Topology
+from repro.sim.world import World
+
+CHAIN_EVENTS = 50_000
+CHURN_TIMERS = 50_000
+ECHO_CALLS = 2_000
+
+
+def test_event_loop_throughput(benchmark):
+    """Events/sec over chained and overlapping timers."""
+    metrics = {}
+
+    def run():
+        sim = Simulator()
+
+        def chain():
+            for _ in range(CHAIN_EVENTS):
+                yield sim.timeout(0.001)
+
+        def background():
+            # Overlapping timers keep the heap populated, so heappush /
+            # heappop run at realistic depth rather than on a near-empty
+            # heap.
+            for _ in range(CHAIN_EVENTS // 10):
+                yield sim.timeout(0.011)
+
+        sim.process(chain())
+        sim.process(background())
+        started = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - started
+        metrics["events_per_sec"] = sim.events_processed / wall
+        metrics["peak_heap_size"] = sim.peak_heap_size
+        return sim.events_processed
+
+    events = benchmark(run)
+    assert events >= CHAIN_EVENTS
+    benchmark.extra_info.update(metrics)
+    save_json("kernel_event_loop", metrics)
+
+
+def test_timer_cancellation_churn(benchmark):
+    """Create-then-cancel guard timers: the RPC deadline pattern.
+
+    Every iteration arms a long deadline and cancels it almost
+    immediately — what a successful RPC does.  Lazy invalidation plus
+    compaction must keep the heap from accumulating dead timers.
+    """
+    metrics = {}
+
+    def run():
+        sim = Simulator()
+
+        def churn():
+            for _ in range(CHURN_TIMERS):
+                guard = sim.timeout(1000.0)  # would linger ~forever
+                yield sim.timeout(0.001)
+                guard.cancel()
+
+        sim.process(churn())
+        started = time.perf_counter()
+        sim.run()
+        wall = time.perf_counter() - started
+        metrics["events_per_sec"] = sim.events_processed / wall
+        metrics["peak_heap_size"] = sim.peak_heap_size
+        metrics["stale_after_run"] = sim.stale_timer_count
+        return sim.peak_heap_size
+
+    peak = benchmark(run)
+    # Without cancellation the heap would hold all CHURN_TIMERS dead
+    # deadlines at once; with it, compaction caps the live+stale set.
+    assert peak < CHURN_TIMERS // 10
+    assert metrics["stale_after_run"] == 0
+    benchmark.extra_info.update(metrics)
+    save_json("kernel_timer_churn", metrics)
+
+
+def test_udp_rpc_echo_throughput(benchmark):
+    """Requests/sec and events/sec for back-to-back UDP RPC echoes."""
+    metrics = {}
+
+    def run():
+        world = World(topology=Topology.balanced(1, 1, 1, 2), seed=9)
+        a = world.host("client", "r0/c0/m0/s0")
+        b = world.host("node", "r0/c0/m0/s1")
+        server = UdpRpcServer(b, 5300)
+        server.register("echo", lambda ctx, args: args["x"])
+        server.start()
+        client = UdpRpcClient(a)
+
+        def caller():
+            for index in range(ECHO_CALLS):
+                value = yield from client.call(b, 5300, "echo", {"x": index})
+                assert value == index
+
+        proc = a.spawn(caller())
+        started = time.perf_counter()
+        world.run_until(proc, limit=1e9)
+        wall = time.perf_counter() - started
+        sim = world.sim
+        metrics["requests_per_sec"] = ECHO_CALLS / wall
+        metrics["events_per_sec"] = sim.events_processed / wall
+        metrics["peak_heap_size"] = sim.peak_heap_size
+        metrics["heap_after_run"] = sim.heap_size
+        metrics["stale_after_run"] = sim.stale_timer_count
+        return sim.peak_heap_size
+
+    peak = benchmark(run)
+    # Each call cancels its retry timer on success: the heap must stay
+    # bounded by in-flight work, not by the number of calls made.
+    assert peak < ECHO_CALLS // 10
+    assert metrics["stale_after_run"] == 0
+    benchmark.extra_info.update(metrics)
+    save_json("kernel_udp_rpc_echo", metrics)

@@ -4,8 +4,14 @@ Each benchmark runs one experiment driver (a full simulated deployment
 + workload) exactly once under pytest-benchmark timing, prints the
 table the corresponding paper figure implies, and persists it under
 ``benchmarks/results/`` so the artifacts survive output capturing.
+
+Throughput benchmarks additionally persist a machine-readable record
+via :func:`save_json` (events/sec, requests/sec, peak heap size, ...)
+so successive PRs can be compared as a perf trajectory:
+``benchmarks/results/<name>.json``.
 """
 
+import json
 import pathlib
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
@@ -17,3 +23,17 @@ def save_result(name: str, text: str) -> None:
     (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
     print()
     print(text)
+
+
+def save_json(name: str, record: dict) -> None:
+    """Persist a comparable perf record (and echo it).
+
+    ``record`` should be flat JSON-serialisable metrics — e.g.
+    ``{"events_per_sec": ..., "requests_per_sec": ...,
+    "peak_heap_size": ...}`` — with stable keys across PRs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(record, indent=2, sort_keys=True)
+    (RESULTS_DIR / ("%s.json" % name)).write_text(text + "\n")
+    print()
+    print("%s: %s" % (name, text))

@@ -17,6 +17,7 @@ Run:  python examples/flash_crowd.py
 from repro.gdn.deployment import GdnDeployment
 from repro.gdn.scenario import ReplicationScenario
 from repro.sim.topology import Topology
+from repro.workloads.loadgen import FlashCrowdSchedule, LoadGenerator
 from repro.workloads.packages import synthetic_file
 
 PACKAGE = "/os/distributions/PenguinOS"
@@ -25,23 +26,33 @@ FILES = {"README": synthetic_file("penguin-readme", 1_500),
 
 
 def crowd_downloads(gdn, count, label):
-    """``count`` users from region r1 fetch the ISO; report stats."""
-    latencies = []
+    """``count`` users from region r1 fetch the ISO; report stats.
 
-    def run_all():
-        for index in range(count):
-            browser = gdn.add_browser(
-                "crowd-%s-%d" % (label.replace(" ", "-"), index),
-                "r1/c%d/m0/s%d" % (index % 2, index % 2))
-            response = yield from browser.download(PACKAGE,
-                                                   "iso/penguin-1.0.iso")
-            assert response.ok, response.status
-            latencies.append(response.elapsed)
-            browser.close()
+    An open-loop spike (FlashCrowdSchedule): the release announcement
+    lands and requests arrive at the peak rate whether or not earlier
+    downloads have finished — nobody's browser waits for a stranger's.
+    """
+    crowd_sites = [gdn.world.topology.site("r1/c0/m0/s0"),
+                   gdn.world.topology.site("r1/c1/m0/s1")]
+    browser_for = gdn.browser_pool("crowd-" + label.replace(" ", "-"))
 
-    gdn.run(run_all())
-    mean = sum(latencies) / len(latencies)
-    print("  %-24s mean download %7.1f ms" % (label + ":", mean * 1e3))
+    def one_download(arrival):
+        response = yield from browser_for(arrival.site).download(
+            PACKAGE, "iso/penguin-1.0.iso")
+        assert response.ok, response.status
+        return True
+
+    schedule = FlashCrowdSchedule(base_rate=0.2, peak_rate=4.0,
+                                  spike_start=0.0, spike_duration=10.0)
+    generator = LoadGenerator(gdn.world.sim, schedule, one_download, count,
+                              rng=gdn.world.rng_for("crowd-" + label),
+                              sites=crowd_sites)
+    gdn.run(generator.run(), limit=1e9)
+    browser_for.close()
+    mean = generator.stats.latency.mean
+    print("  %-24s mean download %7.1f ms  (%d ok, %d failed)"
+          % (label + ":", mean * 1e3, generator.stats.ok,
+             generator.stats.failed))
     return mean
 
 

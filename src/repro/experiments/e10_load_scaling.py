@@ -5,8 +5,9 @@ in a particular software package and multiple machines are needed to
 handle such a load."
 
 Servers here are finite: each HTTPD has a worker pool and a fixed CPU
-service time per request.  A closed population of clients hammers one
-popular package at increasing offered load, against
+service time per request.  An open-loop arrival process (driven by
+:class:`~repro.workloads.loadgen.LoadGenerator`) hammers one popular
+package at increasing offered load, against
 
 * a single access point backed by the only replica, and
 * an access point + replica in every region.
@@ -23,11 +24,11 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from ..analysis.metrics import Series
 from ..analysis.tables import Table, format_seconds
 from ..gdn.deployment import GdnDeployment
 from ..gdn.scenario import ReplicationScenario
 from ..sim.topology import Topology
+from ..workloads.loadgen import LoadGenerator, UniformSchedule
 from ..workloads.packages import synthetic_file
 
 __all__ = ["run_load_scaling_experiment", "format_result", "assert_shape"]
@@ -63,47 +64,28 @@ def _run_deployment(replicate: bool, offered_load: float, seed: int,
     gdn.run(publish(), host=moderator.host)
     gdn.settle(5.0)
 
-    # Clients spread over all regions; each issues one request at its
-    # scheduled time (open-loop arrivals at the offered rate).
-    latency = Series("latency")
-    completed = []
-    browsers = {}
-    rng = gdn.world.rng_for("e10-load")
+    # Clients spread over all regions; open-loop arrivals at exactly
+    # the offered rate (UniformSchedule keeps the x-axis exact), one
+    # long-lived browser per site shared by all its requests.
+    browser_for = gdn.browser_pool("load")
 
-    sites = [site.path for site in gdn.world.topology.sites]
+    def one_request(arrival):
+        response = yield from browser_for(arrival.site).download(
+            PACKAGE, _FILE)
+        return response.ok
 
-    def browser_for(site_path):
-        if site_path not in browsers:
-            browsers[site_path] = gdn.add_browser(
-                "load-%s" % site_path.replace("/", "-"), site_path)
-        return browsers[site_path]
-
-    def one_request(site_path):
-        browser = browser_for(site_path)
-        response = yield from browser.download(PACKAGE, _FILE)
-        if response.ok:
-            latency.add(response.elapsed)
-        completed.append(response.status)
-
-    def driver():
-        start = gdn.world.now
-        for index in range(request_count):
-            target = start + index / offered_load
-            if target > gdn.world.now:
-                yield gdn.world.sim.timeout(target - gdn.world.now)
-            gdn.world.sim.process(
-                one_request(sites[rng.randrange(len(sites))]))
-        while len(completed) < request_count:
-            yield gdn.world.sim.timeout(0.5)
-        return gdn.world.now - start
-
-    elapsed = gdn.run(driver(), limit=1e9)
+    generator = LoadGenerator(gdn.world.sim, UniformSchedule(offered_load),
+                              one_request, request_count,
+                              rng=gdn.world.rng_for("e10-load"),
+                              sites=gdn.world.topology.sites)
+    elapsed = gdn.run(generator.run(), limit=1e9)
+    stats = generator.stats
     return {
         "replicate": replicate,
         "offered": offered_load,
-        "achieved": latency.count / elapsed,
-        "latency": latency,
-        "ok": latency.count,
+        "achieved": stats.throughput(elapsed),
+        "latency": stats.latency,
+        "ok": stats.ok,
     }
 
 

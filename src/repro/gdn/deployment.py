@@ -42,7 +42,7 @@ from .httpd import HTTP_PORT, GdnHttpd
 from .moderator import ModeratorTool
 from .package import PACKAGE_IMPL_ID, PackageSemantics
 
-__all__ = ["GdnDeployment"]
+__all__ = ["GdnDeployment", "BrowserPool"]
 
 
 class GdnDeployment:
@@ -395,6 +395,15 @@ class GdnDeployment:
         self.browsers[name] = browser
         return browser
 
+    def browser_pool(self, prefix: str) -> "BrowserPool":
+        """One long-lived browser per site, created on first use.
+
+        Load drivers issue many requests per site; reusing a browser
+        (and so its access-point channel) per site is how real users
+        behave and keeps host creation out of the request hot path.
+        """
+        return BrowserPool(self, prefix)
+
     # -- canned layouts -------------------------------------------------------------
 
     def standard_fleet(self, gos_per_region: int = 1) -> None:
@@ -451,3 +460,30 @@ class GdnDeployment:
         """Complete initial DNS secondary transfers."""
         for secondary in self.dns_secondaries:
             self.run(secondary.initial_transfers(), host=secondary.host)
+
+
+class BrowserPool:
+    """A site -> :class:`Browser` cache shared by load drivers.
+
+    Call it with a site (a Domain or site path) to get that site's
+    long-lived browser, creating it on first use under a
+    ``prefix``-derived host name; ``close()`` closes all of them.
+    """
+
+    def __init__(self, deployment: GdnDeployment, prefix: str):
+        self._deployment = deployment
+        self._prefix = prefix
+        self._browsers: Dict[str, Browser] = {}
+
+    def __call__(self, site: Union[str, Domain]) -> Browser:
+        path = site if isinstance(site, str) else site.path
+        browser = self._browsers.get(path)
+        if browser is None:
+            browser = self._deployment.add_browser(
+                "%s-%s" % (self._prefix, path.replace("/", "-")), path)
+            self._browsers[path] = browser
+        return browser
+
+    def close(self) -> None:
+        for browser in self._browsers.values():
+            browser.close()

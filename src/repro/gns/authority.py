@@ -151,6 +151,7 @@ class NamingAuthority:
                 timer = self.world.sim.timeout(remaining)
                 yield AnyOf(self.world.sim, [next_get, timer])
                 if next_get.triggered:
+                    timer.cancel()  # batch filled before the window closed
                     batch.append(next_get.value)
                 else:
                     # Keep the armed get for the next batch round.

@@ -14,6 +14,24 @@ but is deliberately small and fully deterministic:
   stochastic behaviour in higher layers draws from seeded
   ``random.Random`` instances owned by the simulation world.
 
+Because every RPC, retry and lease in the reproduction runs through
+this loop, the kernel is the hottest code in the repo and is tuned
+accordingly:
+
+* ``Event``/``Timeout``/``Process`` (and the ``Store``/``Resource``
+  primitives) declare ``__slots__`` — no per-instance ``__dict__`` on
+  the millions of short-lived objects a large run creates.
+* ``Store`` and ``Resource`` keep their FIFO queues in
+  :class:`collections.deque`, so serving a waiter is O(1) instead of
+  the O(n) ``list.pop(0)``.
+* Timers are **cancellable**: :meth:`Timeout.cancel` withdraws a
+  pending timer using lazy heap invalidation — the heap entry is
+  blanked in place (O(1)) and discarded when it surfaces, and the heap
+  is compacted whenever blanked entries outnumber live ones.  Without
+  this, every RPC that *succeeds* would strand its guard timer in the
+  heap until its deadline passes, bloating ``heapq`` operations and
+  forcing ``run()`` to grind through dead timers at the end of a run.
+
 Typical use::
 
     sim = Simulator()
@@ -30,8 +48,9 @@ Typical use::
 
 from __future__ import annotations
 
-import heapq
 import itertools
+from collections import deque
+from heapq import heapify, heappop, heappush
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -74,6 +93,8 @@ class Event:
     (``fail``) carrying an exception.  Triggering schedules all
     registered callbacks to run at the current simulation time.
     """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
@@ -159,21 +180,62 @@ class Timeout(Event):
     until the simulator processes it (so composites like ``AnyOf`` see
     pending timers as pending); the stored value is attached when it
     fires.
+
+    A pending timeout can be withdrawn with :meth:`cancel` — the idiom
+    for guard timers (RPC deadlines, connect timeouts) that are no
+    longer needed once the guarded operation completes.  A cancelled
+    timeout never fires and never runs its callbacks.
     """
 
-    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
-        if delay < 0:
-            raise SimulationError("negative delay: %r" % (delay,))
+    __slots__ = ("delay", "_auto_value", "_entry")
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None,
+                 at: Optional[float] = None):
+        """Fire ``delay`` from now — or, if ``at`` is given, at exactly
+        that absolute instant (use :meth:`Simulator.timeout_at`).
+
+        The ``at`` form exists for schedulers that must hit a
+        previously computed timestamp *bit-for-bit*: re-deriving it as
+        ``now + delay`` can land one float ULP away and invert the
+        (time, sequence) order against another event at the "same"
+        instant.
+        """
+        if at is None:
+            if delay < 0:
+                raise SimulationError("negative delay: %r" % (delay,))
+            at = sim.now + delay
+        else:
+            delay = at - sim.now
+            if delay < 0:
+                raise SimulationError(
+                    "cannot schedule at %r, before now" % (at,))
         super().__init__(sim)
         self.delay = delay
         self._auto_value = value
-        sim._enqueue(self, delay)
+        self._entry = sim._enqueue_abs(self, at)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout events trigger themselves")
 
     def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout events trigger themselves")
+
+    @property
+    def cancelled(self) -> bool:
+        return self._entry is None and not self.triggered
+
+    def cancel(self) -> bool:
+        """Withdraw a pending timer; returns True if it was withdrawn.
+
+        Cancelling a timeout that already fired (or was already
+        cancelled) is a harmless no-op returning False.
+        """
+        entry = self._entry
+        if entry is None or self.triggered:
+            return False
+        self._entry = None
+        self.sim._invalidate(entry)
+        return True
 
 
 class Process(Event):
@@ -185,6 +247,8 @@ class Process(Event):
     event itself succeeds with the generator's return value, or fails
     with its uncaught exception.
     """
+
+    __slots__ = ("_generator", "_waiting_on")
 
     def __init__(self, sim: "Simulator", generator: Generator):
         super().__init__(sim)
@@ -224,26 +288,29 @@ class Process(Event):
         """
         if not self.alive:
             return
+        self._abandon_wait()
+        self._generator.close()
+        self.succeed(None)
+
+    def _abandon_wait(self) -> None:
+        """Stop watching the awaited event; reap a now-orphaned timer."""
         waiting = self._waiting_on
         if waiting is not None and waiting.callbacks is not None:
             try:
                 waiting.callbacks.remove(self._resume)
             except ValueError:
                 pass
+            # A timer nobody watches any more (the common case when a
+            # host crash kills a sleeping daemon) would sit in the heap
+            # until its deadline; withdraw it instead.
+            if not waiting.callbacks and type(waiting) is Timeout:
+                waiting.cancel()
         self._waiting_on = None
-        self._generator.close()
-        self.succeed(None)
 
     def _deliver_interrupt(self, bridge: Event) -> None:
         if not self.alive:
             return
-        waiting = self._waiting_on
-        if waiting is not None and waiting.callbacks is not None:
-            try:
-                waiting.callbacks.remove(self._resume)
-            except ValueError:
-                pass
-        self._waiting_on = None
+        self._abandon_wait()
         self._step(bridge)
 
     def _resume(self, event: Event) -> None:
@@ -278,6 +345,8 @@ class Process(Event):
 class _Condition(Event):
     """Base for AnyOf / AllOf composite events."""
 
+    __slots__ = ("_events", "_fired")
+
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
         self._events = list(events)
@@ -299,8 +368,15 @@ class _Condition(Event):
             return
         self._fired += 1
         if not event._ok:
+            # A child failure that was already defused (e.g. a teardown
+            # notification to a possibly-dead waiter) stays defused
+            # through the composite, so orphaned composites don't crash
+            # the simulator; live waiters still receive the exception.
+            already_handled = event._defused
             event._defused = True
             self.fail(event._value)
+            if already_handled:
+                self._defused = True
             return
         if self._done():
             results = {
@@ -313,12 +389,16 @@ class _Condition(Event):
 class AnyOf(_Condition):
     """Fires when the first of ``events`` fires."""
 
+    __slots__ = ()
+
     def _done(self) -> bool:
         return self._fired >= 1
 
 
 class AllOf(_Condition):
     """Fires when all of ``events`` have fired."""
+
+    __slots__ = ()
 
     def _done(self) -> bool:
         return self._fired >= len(self._events)
@@ -329,13 +409,17 @@ class Store:
 
     ``put`` never blocks; ``get`` returns an event that fires when an
     item is available.  Items are delivered in FIFO order to getters in
-    FIFO order, which keeps message channels deterministic.
+    FIFO order, which keeps message channels deterministic.  Both
+    queues are deques, so a put/get pair is O(1) however deep the
+    backlog grows.
     """
+
+    __slots__ = ("sim", "_items", "_getters")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self._items: list = []
-        self._getters: list[Event] = []
+        self._items: deque = deque()
+        self._getters: deque[Event] = deque()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -352,18 +436,21 @@ class Store:
 
     def _dispatch(self) -> None:
         while self._items and self._getters:
-            getter = self._getters.pop(0)
+            getter = self._getters.popleft()
             if getter.triggered:
                 continue
-            getter.succeed(self._items.pop(0))
+            getter.succeed(self._items.popleft())
 
 
 class Resource:
     """A counting semaphore for modelling limited server concurrency.
 
     ``acquire`` returns an event that fires when a slot is free;
-    ``release`` frees a slot.  Waiters are served FIFO.
+    ``release`` frees a slot.  Waiters are served FIFO (from a deque,
+    so deep queues — a saturated server — stay O(1) per hand-off).
     """
+
+    __slots__ = ("sim", "capacity", "_in_use", "_waiters")
 
     def __init__(self, sim: "Simulator", capacity: int = 1):
         if capacity < 1:
@@ -371,7 +458,7 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self._in_use = 0
-        self._waiters: list[Event] = []
+        self._waiters: deque[Event] = deque()
 
     @property
     def in_use(self) -> int:
@@ -390,7 +477,7 @@ class Resource:
         if self._in_use <= 0:
             raise SimulationError("release() without acquire()")
         while self._waiters:
-            waiter = self._waiters.pop(0)
+            waiter = self._waiters.popleft()
             if waiter.triggered:
                 continue
             waiter.succeed()
@@ -399,23 +486,63 @@ class Resource:
 
 
 class Simulator:
-    """The event loop: a priority queue of triggered events."""
+    """The event loop: a priority queue of triggered events.
+
+    Heap entries are mutable ``[time, seq, event]`` lists so that a
+    cancelled timer can be invalidated *in place* (the event slot is
+    blanked to ``None``) without the O(n) cost of removing it from the
+    middle of the heap.  Blanked entries are discarded when they reach
+    the top; when they outnumber live entries the whole heap is
+    compacted in one O(n) pass, keeping the amortised cost of a
+    cancellation O(1).
+    """
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list = []
         self._sequence = itertools.count()
         self._event_count = 0
+        self._stale = 0
+        self.peak_heap_size = 0
 
     # -- scheduling ---------------------------------------------------
 
-    def _enqueue(self, event: Event, delay: float = 0.0) -> None:
-        heapq.heappush(
-            self._heap, (self.now + delay, next(self._sequence), event))
+    def _enqueue(self, event: Event, delay: float = 0.0) -> list:
+        entry = [self.now + delay, next(self._sequence), event]
+        heappush(self._heap, entry)
+        if len(self._heap) > self.peak_heap_size:
+            self.peak_heap_size = len(self._heap)
+        return entry
+
+    def _enqueue_abs(self, event: Event, when: float) -> list:
+        entry = [when, next(self._sequence), event]
+        heappush(self._heap, entry)
+        if len(self._heap) > self.peak_heap_size:
+            self.peak_heap_size = len(self._heap)
+        return entry
+
+    def _invalidate(self, entry: list) -> None:
+        """Lazy removal: blank the entry; compact when mostly garbage."""
+        entry[2] = None
+        self._stale += 1
+        if self._stale * 2 >= len(self._heap):
+            self._heap = [e for e in self._heap if e[2] is not None]
+            heapify(self._heap)
+            self._stale = 0
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """An event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
+
+    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+        """An event firing at the absolute instant ``when`` (>= now).
+
+        Unlike ``timeout(when - now)``, the heap entry carries ``when``
+        verbatim, so two schedulers that agree on a timestamp are
+        ordered purely by scheduling sequence — no float-rounding
+        inversions.
+        """
+        return Timeout(self, 0.0, value, at=when)
 
     def event(self) -> Event:
         """A fresh untriggered event (trigger it manually)."""
@@ -437,17 +564,39 @@ class Simulator:
     def events_processed(self) -> int:
         return self._event_count
 
+    @property
+    def stale_timer_count(self) -> int:
+        """Cancelled-but-not-yet-discarded entries still in the heap."""
+        return self._stale
+
+    @property
+    def heap_size(self) -> int:
+        """Live (non-cancelled) entries currently in the event heap."""
+        return len(self._heap) - self._stale
+
+    def _discard_stale_head(self) -> None:
+        heap = self._heap
+        while heap and heap[0][2] is None:
+            heappop(heap)
+            self._stale -= 1
+
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none are scheduled."""
+        self._discard_stale_head()
         return self._heap[0][0] if self._heap else float("inf")
 
     def step(self) -> None:
-        """Process exactly one event."""
-        when, _seq, event = heapq.heappop(self._heap)
+        """Process exactly one event (skipping cancelled timers)."""
+        heap = self._heap
+        when, _seq, event = heappop(heap)
+        while event is None:
+            self._stale -= 1
+            when, _seq, event = heappop(heap)
         self.now = when
         if event._value is _PENDING:  # self-triggering event (Timeout)
             event._ok = True
-            event._value = getattr(event, "_auto_value", None)
+            event._value = event._auto_value
+            event._entry = None
         callbacks = event.callbacks
         event.callbacks = None
         self._event_count += 1
@@ -464,11 +613,22 @@ class Simulator:
         """
         if until is not None and until < self.now:
             raise SimulationError("cannot run backwards in time")
-        while self._heap:
-            if until is not None and self._heap[0][0] > until:
+        step = self.step
+        # Re-read self._heap each iteration: cancellation may compact
+        # it (replacing the list) from inside an event callback.
+        while True:
+            heap = self._heap
+            if not heap:
+                break
+            head = heap[0]
+            if head[2] is None:
+                heappop(heap)
+                self._stale -= 1
+                continue
+            if until is not None and head[0] > until:
                 self.now = until
                 return
-            self.step()
+            step()
         if until is not None:
             self.now = until
 
@@ -480,9 +640,14 @@ class Simulator:
         event queue drains or time passes ``limit`` first, a
         :class:`SimulationError` is raised.
         """
+        step = self.step
         while not process.triggered:
-            if not self._heap or self.peek() > limit:
+            heap = self._heap
+            while heap and heap[0][2] is None:
+                heappop(heap)
+                self._stale -= 1
+            if not heap or heap[0][0] > limit:
                 raise SimulationError(
                     "process did not complete (deadlock or time limit)")
-            self.step()
+            step()
         return process.value

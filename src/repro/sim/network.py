@@ -135,6 +135,11 @@ class Network:
         self.rng = random.Random(seed)
         self._down_hosts: set = set()
         self._partitioned: set = set()
+        # The domain tree is immutable once hosts start talking, and
+        # every message needs the separation of its endpoint sites —
+        # memoise the LCA walk per site pair (id-keyed: Domains are
+        # unique objects owned by the topology).
+        self._separation_cache: Dict[tuple, Level] = {}
 
     # -- failure state -------------------------------------------------
 
@@ -165,7 +170,12 @@ class Network:
     # -- cost model ----------------------------------------------------
 
     def separation(self, site_a: Domain, site_b: Domain) -> Level:
-        return Topology.separation(site_a, site_b)
+        key = (id(site_a), id(site_b))
+        level = self._separation_cache.get(key)
+        if level is None:
+            level = Topology.separation(site_a, site_b)
+            self._separation_cache[key] = level
+        return level
 
     def latency(self, site_a: Domain, site_b: Domain) -> float:
         """One-way propagation latency between two sites."""
@@ -188,13 +198,21 @@ class Network:
     def deliver(self, src_site: Domain, dst_site: Domain, dst_host: str,
                 size: int, deliver_fn: Callable[[], None],
                 reliable: bool = False,
-                extra_delay: float = 0.0) -> bool:
+                extra_delay: float = 0.0,
+                at: Optional[float] = None) -> bool:
         """Schedule ``deliver_fn`` after the computed delay.
 
         Returns ``True`` if the message was scheduled, ``False`` if it
         was dropped (destination down, partition, or random loss).
         Bytes are metered when the message is *sent*, matching how a
         real sender consumes upstream bandwidth even for lost traffic.
+
+        ``at`` lets a caller that already computed the absolute
+        arrival instant (via :meth:`transfer_delay` + FIFO pacing on a
+        connection) schedule delivery at exactly that timestamp;
+        otherwise an independent delay computation here — a second
+        jitter draw, or even one float-rounding ULP — could reorder
+        messages the caller carefully sequenced.
         """
         level = self.separation(src_site, dst_site)
         self.meter.record(level, size)
@@ -204,11 +222,18 @@ class Network:
         if self._crosses_partition(src_site, dst_site):
             self.meter.record_drop()
             return False
-        loss = self.params.loss[level]
+        params = self.params
+        loss = params.loss[level]
         if not reliable and loss > 0.0 and self.rng.random() < loss:
             self.meter.record_drop()
             return False
-        delay = self.transfer_delay(src_site, dst_site, size) + extra_delay
-        timer = self.sim.timeout(delay)
+        if at is not None:
+            timer = self.sim.timeout_at(at)
+        else:
+            # Inline transfer_delay: the level is already in hand.
+            delay = params.latency[level] + size / params.bandwidth[level]
+            if params.jitter_fraction:
+                delay *= 1.0 + self.rng.uniform(0, params.jitter_fraction)
+            timer = self.sim.timeout(delay + extra_delay)
         timer.add_callback(lambda _event: deliver_fn())
         return True

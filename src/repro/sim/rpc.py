@@ -16,8 +16,14 @@ Two flavours, matching the paper's split:
 Handlers are registered per method name and receive
 ``(context, args)``.  A handler may be a plain function or a generator
 (simulation process), so servers can perform further simulated I/O
-while serving a request.  Each request is served in its own process —
-servers are concurrent.
+while serving a request.  Generator handlers are served in their own
+process — servers are concurrent; plain-function handlers take an
+inline fast path (no process spawn) since they cannot block.
+
+Client-side deadlines follow the kernel's cancellation discipline:
+each call arms one guard :class:`~repro.sim.kernel.Timeout` that fails
+the reply waiter if it expires, and *cancels* it the moment the reply
+arrives — a successful call leaves nothing behind in the event heap.
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, Optional
 
-from .kernel import AnyOf, Event, Simulator
+from .kernel import Event, Simulator
 from .transport import (Connection, ConnectionClosed, Host, TransportError,
                         UdpSocket)
 
@@ -61,8 +67,33 @@ class RpcFault(RpcError):
         self.message = message
 
 
+class _DeadlineExpired(Exception):
+    """Internal: a call's guard timer fired before the reply arrived."""
+
+
+def _arm_deadline(sim: Simulator, waiter: Event, delay: float):
+    """Arm a guard timer that fails ``waiter`` on expiry.
+
+    Returns the timer so the caller can :meth:`Timeout.cancel` it once
+    the reply arrives.  The failure is pre-defused: if the waiting
+    process died in the meantime (host crash), the expiry passes
+    silently instead of crashing the simulation.
+    """
+    deadline = sim.timeout(delay)
+
+    def expire(_event: Event) -> None:
+        if not waiter.triggered:
+            waiter.defuse()
+            waiter.fail(_DeadlineExpired())
+
+    deadline.add_callback(expire)
+    return deadline
+
+
 class RpcContext:
     """Per-request context handed to server handlers."""
+
+    __slots__ = ("src_host", "peer_principal", "transport")
 
     def __init__(self, src_host: str, peer_principal: Optional[str] = None,
                  transport: str = "tcp"):
@@ -75,17 +106,6 @@ class RpcContext:
     def __repr__(self) -> str:
         return ("RpcContext(src=%s, principal=%s)"
                 % (self.src_host, self.peer_principal))
-
-
-def _run_handler(sim: Simulator, handler: Callable, ctx: RpcContext,
-                 args: dict):
-    """Invoke a handler; normalise plain functions to one-shot processes."""
-    result = handler(ctx, args)
-    if hasattr(result, "send"):  # generator: simulate it
-        return sim.process(result)
-    done = sim.event()
-    done.succeed(result)
-    return done
 
 
 # ---------------------------------------------------------------------------
@@ -142,6 +162,10 @@ class RpcServer:
             except TransportError:
                 return
             if listener.closed:
+                # Closed between the accept firing and this resume:
+                # the just-accepted connection would otherwise leak,
+                # leaving its client end open forever.
+                conn.close()
                 return
             self.host.spawn(self._serve_connection(conn))
 
@@ -188,9 +212,9 @@ class RpcServer:
                      "error": ("NoSuchMethod", method)}
         else:
             try:
-                done = _run_handler(self.host.sim, handler, ctx,
-                                    request.get("args", {}))
-                value = yield done
+                value = handler(ctx, request.get("args", {}))
+                if hasattr(value, "send"):  # generator: simulate it
+                    value = yield from value
                 reply = {"id": request_id, "ok": True, "value": value}
             except Exception as exc:  # noqa: BLE001 - faults cross the wire
                 reply = {"id": request_id, "ok": False,
@@ -259,17 +283,34 @@ class RpcChannel:
         if timeout is None:
             value = yield waiter
             return value
-        timer = self.sim.timeout(timeout)
-        yield AnyOf(self.sim, [waiter, timer])
-        if not waiter.triggered:
+        deadline = _arm_deadline(self.sim, waiter, timeout)
+        try:
+            value = yield waiter
+        except _DeadlineExpired:
             self._pending.pop(request_id, None)
-            raise RpcTimeout("%s timed out after %gs" % (method, timeout))
-        return waiter.value
+            raise RpcTimeout("%s timed out after %gs"
+                             % (method, timeout)) from None
+        finally:
+            deadline.cancel()  # no stranded timers on the reply path
+        return value
 
     def close(self) -> None:
+        """Close the channel, failing any in-flight calls.
+
+        Callers blocked in :meth:`call` without a timeout would
+        otherwise wait forever once the dispatcher is gone; they
+        receive :class:`ConnectionClosed` instead.  The failures are
+        pre-defused so that calls whose waiting process has already
+        died (host crash) pass silently.
+        """
         self.conn.close()
         if self._dispatcher.alive:
             self._dispatcher.kill()
+        pending, self._pending = self._pending, {}
+        for waiter in pending.values():
+            if not waiter.triggered:
+                waiter.defuse()
+                waiter.fail(ConnectionClosed("channel closed"))
 
 
 def call(src: Host, dst: Host, port: int, method: str,
@@ -327,25 +368,42 @@ class UdpRpcServer:
                 datagram = yield self._socket.recv()
             except TransportError:
                 return
-            self.host.spawn(self._serve_one(datagram))
-
-    def _serve_one(self, datagram) -> Generator:
-        request = datagram.payload
-        request_id = request.get("id")
-        handler = self.handlers.get(request.get("method", ""))
-        ctx = RpcContext(src_host=datagram.src_host.name, transport="udp")
-        if handler is None:
-            reply = {"id": request_id, "ok": False,
-                     "error": ("NoSuchMethod", request.get("method", ""))}
-        else:
+            request = datagram.payload
+            request_id = request.get("id")
+            handler = self.handlers.get(request.get("method", ""))
+            ctx = RpcContext(src_host=datagram.src_host.name, transport="udp")
+            if handler is None:
+                self._reply(datagram,
+                            {"id": request_id, "ok": False,
+                             "error": ("NoSuchMethod",
+                                       request.get("method", ""))})
+                continue
+            # Fast path: a plain-function handler cannot block, so it
+            # is answered inline — no process spawn per request.
             try:
-                done = _run_handler(self.host.sim, handler, ctx,
-                                    request.get("args", {}))
-                value = yield done
-                reply = {"id": request_id, "ok": True, "value": value}
-            except Exception as exc:  # noqa: BLE001
-                reply = {"id": request_id, "ok": False,
-                         "error": (type(exc).__name__, str(exc))}
+                value = handler(ctx, request.get("args", {}))
+            except Exception as exc:  # noqa: BLE001 - faults cross the wire
+                self._reply(datagram,
+                            {"id": request_id, "ok": False,
+                             "error": (type(exc).__name__, str(exc))})
+                continue
+            if hasattr(value, "send"):  # generator: serve concurrently
+                self.host.spawn(self._serve_async(datagram, request_id,
+                                                  value))
+            else:
+                self._reply(datagram,
+                            {"id": request_id, "ok": True, "value": value})
+
+    def _serve_async(self, datagram, request_id, handler_gen) -> Generator:
+        try:
+            value = yield from handler_gen
+            reply = {"id": request_id, "ok": True, "value": value}
+        except Exception as exc:  # noqa: BLE001
+            reply = {"id": request_id, "ok": False,
+                     "error": (type(exc).__name__, str(exc))}
+        self._reply(datagram, reply)
+
+    def _reply(self, datagram, reply: dict) -> None:
         self.requests_served += 1
         if self._socket is not None and not self._socket.closed:
             self._socket.send_to(datagram.src_host, datagram.src_port, reply)
@@ -364,11 +422,23 @@ class UdpRpcClient:
         host.spawn(self._dispatch_loop())
 
     def _ensure_open(self) -> None:
-        """Re-open the socket after a host crash+restart destroyed it."""
+        """Re-open the socket after a host crash+restart destroyed it.
+
+        Waiters parked on the old socket can never be answered (their
+        request ids die with it), so they are failed immediately with
+        :class:`ConnectionClosed` rather than left to stall until
+        their retry timers expire.  Pre-defused: waiters whose caller
+        process died with the host pass silently.
+        """
         if self._socket.closed and self.host.up:
             self._socket = self.host.udp_socket()
-            self._pending.clear()
+            orphans, self._pending = self._pending, {}
             self.host.spawn(self._dispatch_loop())
+            for waiter in orphans.values():
+                if not waiter.triggered:
+                    waiter.defuse()
+                    waiter.fail(
+                        ConnectionClosed("socket lost in host restart"))
 
     def _dispatch_loop(self) -> Generator:
         while True:
@@ -404,13 +474,17 @@ class UdpRpcClient:
             waiter = self.sim.event()
             self._pending[request_id] = waiter
             self._socket.send_to(dst, port, request)
-            timer = self.sim.timeout(self.timeout)
-            yield AnyOf(self.sim, [waiter, timer])
-            if waiter.triggered:
-                return waiter.value  # may raise RpcFault
-            self._pending.pop(request_id, None)
-            last_error = RpcTimeout(
-                "%s to %s:%d timed out" % (method, dst.name, port))
+            deadline = _arm_deadline(self.sim, waiter, self.timeout)
+            try:
+                value = yield waiter  # may raise RpcFault
+            except _DeadlineExpired:
+                self._pending.pop(request_id, None)
+                last_error = RpcTimeout(
+                    "%s to %s:%d timed out" % (method, dst.name, port))
+                continue
+            finally:
+                deadline.cancel()  # a successful call leaves no timer behind
+            return value
         raise last_error
 
     def close(self) -> None:

@@ -30,7 +30,32 @@ def encoded_size(value: Any) -> int:
     Deterministic, order-independent for dicts, and total: unknown
     object types are charged a flat record cost based on their repr
     length, so simulations never crash on exotic payloads.
+
+    This runs for every message the simulator carries, so the common
+    shapes (str / int / dict / list of those) take exact-type fast
+    paths before falling back to the general ``isinstance`` ladder.
     """
+    kind = type(value)
+    if kind is str:
+        # ASCII (the overwhelmingly common case for protocol fields)
+        # needs no encode round-trip to know its UTF-8 length.
+        return len(value) if value.isascii() else len(value.encode("utf-8"))
+    if kind is int or kind is float:
+        return _SCALAR_SIZE
+    if kind is dict:
+        total = 0
+        for key, val in value.items():
+            total += (encoded_size(key) + encoded_size(val)
+                      + 2 * _CONTAINER_ITEM_OVERHEAD)
+        return total
+    if kind is list or kind is tuple:
+        total = 0
+        for item in value:
+            total += encoded_size(item) + _CONTAINER_ITEM_OVERHEAD
+        return total
+    if kind is bytes:
+        return len(value)
+    # General (and rare) cases: None, bools, subclasses, sets, objects.
     if value is None or isinstance(value, bool):
         return 1
     if isinstance(value, (int, float)):

@@ -207,13 +207,23 @@ class Host:
             self.site, dst.site, dst.name, _HANDSHAKE_SIZE, on_syn_arrival,
             reliable=True)
         timer = self.sim.timeout(timeout)
-        from .kernel import AnyOf
-        yield AnyOf(self.sim, [reply, timer])
-        if not reply.triggered:
-            raise ConnectTimeout(
-                "connect to %s:%d timed out%s"
-                % (dst.name, port, "" if delivered else " (unreachable)"))
-        reply.value  # re-raise ConnectRefused if the handshake failed
+
+        def expire(_event: Event) -> None:
+            # Pre-defused: the connecting process may have died while
+            # waiting (its host crashed); the expiry then passes
+            # silently instead of crashing the simulation.
+            if not reply.triggered:
+                reply.defuse()
+                reply.fail(ConnectTimeout(
+                    "connect to %s:%d timed out%s"
+                    % (dst.name, port,
+                       "" if delivered else " (unreachable)")))
+
+        timer.add_callback(expire)
+        try:
+            yield reply  # raises ConnectRefused / ConnectTimeout
+        finally:
+            timer.cancel()  # successful handshakes leave no timer behind
         listener = dst._tcp_listeners.get(port)
         if listener is None or not dst.up:
             raise ConnectRefused("%s:%d refused" % (dst.name, port))
@@ -335,10 +345,12 @@ class Connection:
                                             self.remote.site, wire)
         arrival = max(self.sim.now + base_delay, self._next_arrival)
         self._next_arrival = arrival
-        extra = arrival - (self.sim.now + base_delay)
+        # Deliver at exactly the pacing clock's timestamp: recomputing
+        # the delay (a second jitter draw, or a float-rounding ULP)
+        # could land an earlier message after a later one.
         delivered = network.deliver(self.local.site, self.remote.site,
                                     self.remote.name, wire, deliver,
-                                    reliable=True, extra_delay=extra)
+                                    reliable=True, at=arrival)
         if not delivered:
             self._break()
             raise ConnectionClosed("connection to %s lost" % self.remote.name)
@@ -386,12 +398,11 @@ class Connection:
             base_delay = network.transfer_delay(
                 self.local.site, self.remote.site, HEADER_OVERHEAD)
             arrival = max(self.sim.now + base_delay, self._next_arrival)
-            extra = arrival - (self.sim.now + base_delay)
             network.deliver(self.local.site, self.remote.site,
                             self.remote.name, HEADER_OVERHEAD,
                             lambda: peer._inbox.put(_EOF)
                             if not peer.closed else None,
-                            reliable=True, extra_delay=extra)
+                            reliable=True, at=arrival)
         if self in self.local._connections:
             self.local._connections.remove(self)
 

@@ -1,11 +1,16 @@
-"""Workload generators: popularity, packages, client populations."""
+"""Workload generators: popularity, packages, populations, load."""
 
+from .loadgen import (Arrival, ArrivalSchedule, FlashCrowdSchedule,
+                      LoadGenerator, LoadStats, PoissonSchedule,
+                      UniformSchedule)
 from .packages import PackageSpec, generate_corpus, synthetic_file
 from .population import ClientPopulation, Request, RequestStream
 from .webtrace import WebDocument, make_web_trace
 from .zipf import ZipfSampler
 
 __all__ = [
+    "Arrival", "ArrivalSchedule", "FlashCrowdSchedule", "LoadGenerator",
+    "LoadStats", "PoissonSchedule", "UniformSchedule",
     "PackageSpec", "generate_corpus", "synthetic_file",
     "ClientPopulation", "Request", "RequestStream",
     "WebDocument", "make_web_trace", "ZipfSampler",

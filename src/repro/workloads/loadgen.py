@@ -1,0 +1,305 @@
+"""Open-loop load generation for scaling experiments (§3.1).
+
+The paper's efficiency argument starts from demand: "a potentially
+very large number of people interested in a particular software
+package".  Superdistribution-style workloads are defined by sudden,
+heavy-tailed spikes — a release announcement turns a quiet package
+into a flash crowd within seconds — and a *closed* loop of simulated
+clients (each waiting for its previous download) cannot express that:
+a saturated server slows the clients down, which politely throttles
+the offered load exactly when the experiment needs it to keep rising.
+
+This module drives **open-loop** load: arrivals happen on a schedule
+that does not care how the system is coping, which is how demand works
+on the real Internet.  It is built to be cheap enough for 10⁵+
+requests per run on the fast-path kernel.
+
+Three pieces:
+
+* **Arrival schedules** — :class:`UniformSchedule` (deterministic
+  constant rate), :class:`PoissonSchedule` (memoryless arrivals at a
+  constant rate) and :class:`FlashCrowdSchedule` (piecewise-constant
+  Poisson: a base rate, then a spike at ``peak_rate``).  All yield
+  absolute simulation times and are deterministic per supplied RNG.
+* **Request population** — optional Zipf object popularity (via
+  :class:`.zipf.ZipfSampler`) and per-request site placement drawn
+  from a topology's sites, so load lands where clients live.
+* **The driver** — :class:`LoadGenerator` spawns one simulation
+  process per arrival, measures each request's latency, and accounts
+  successes, application failures and errors in :class:`LoadStats`.
+
+Typical use::
+
+    stats = LoadStats()
+    gen = LoadGenerator(world.sim, PoissonSchedule(rate=500.0),
+                        request=do_one, count=100_000,
+                        rng=world.rng_for("load"),
+                        sites=topology.sites, stats=stats)
+    elapsed = world.run_until(world.sim.process(gen.run()))
+    print(stats.summary(), stats.throughput(elapsed))
+
+where ``do_one(arrival)`` is a generator performing one request
+against the system under test; it may use ``arrival.site`` (a
+:class:`~repro.sim.topology.Domain`) and ``arrival.rank`` (a Zipf
+popularity rank, 0 = hottest).  Return ``False`` to record an
+application-level failure; any exception is recorded under its type
+name.  The driver never waits for a request to finish before issuing
+the next one — that is the point.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import (Any, Callable, Dict, Generator, Iterator, List,
+                    Optional, Sequence)
+
+from ..analysis.metrics import Series
+from ..sim.kernel import Event, Simulator
+from ..sim.topology import Domain
+from .zipf import ZipfSampler
+
+__all__ = [
+    "Arrival",
+    "ArrivalSchedule",
+    "UniformSchedule",
+    "PoissonSchedule",
+    "FlashCrowdSchedule",
+    "LoadStats",
+    "LoadGenerator",
+]
+
+
+class Arrival:
+    """One scheduled request: when, from where, for what."""
+
+    __slots__ = ("index", "time", "site", "rank")
+
+    def __init__(self, index: int, time: float,
+                 site: Optional[Domain], rank: int):
+        self.index = index
+        self.time = time
+        self.site = site
+        self.rank = rank
+
+    def __repr__(self) -> str:
+        where = self.site.path if self.site is not None else "-"
+        return ("Arrival(#%d %.3fs obj%d @ %s)"
+                % (self.index, self.time, self.rank, where))
+
+
+class ArrivalSchedule:
+    """Produces absolute arrival times from ``start`` onward."""
+
+    def times(self, count: int, start: float,
+              rng: random.Random) -> Iterator[float]:
+        raise NotImplementedError
+
+
+class UniformSchedule(ArrivalSchedule):
+    """Deterministic constant-rate arrivals: exactly ``rate`` req/s.
+
+    No randomness in the spacing — useful when an experiment sweeps
+    offered load and wants the x-axis to be exact.
+    """
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def times(self, count: int, start: float,
+              rng: random.Random) -> Iterator[float]:
+        for index in range(count):
+            yield start + index / self.rate
+
+
+class PoissonSchedule(ArrivalSchedule):
+    """Memoryless arrivals at ``rate`` req/s (exponential gaps).
+
+    The classic open-loop model of many independent users.
+    """
+
+    def __init__(self, rate: float):
+        if rate <= 0:
+            raise ValueError("rate must be positive")
+        self.rate = rate
+
+    def times(self, count: int, start: float,
+              rng: random.Random) -> Iterator[float]:
+        now = start
+        for _ in range(count):
+            now += rng.expovariate(self.rate)
+            yield now
+
+
+class FlashCrowdSchedule(ArrivalSchedule):
+    """A quiet base rate with a superdistribution-style demand spike.
+
+    Piecewise-constant Poisson process: arrivals at ``base_rate``
+    until ``spike_start`` (relative to the schedule's start), then
+    ``peak_rate`` for ``spike_duration`` seconds, then ``base_rate``
+    again until ``count`` arrivals have been produced.
+    """
+
+    def __init__(self, base_rate: float, peak_rate: float,
+                 spike_start: float, spike_duration: float):
+        if base_rate <= 0 or peak_rate <= 0:
+            raise ValueError("rates must be positive")
+        if spike_start < 0 or spike_duration <= 0:
+            raise ValueError("spike must lie in the future and last")
+        self.base_rate = base_rate
+        self.peak_rate = peak_rate
+        self.spike_start = spike_start
+        self.spike_duration = spike_duration
+
+    def rate_at(self, offset: float) -> float:
+        """Instantaneous arrival rate ``offset`` seconds in."""
+        if self.spike_start <= offset < self.spike_start + self.spike_duration:
+            return self.peak_rate
+        return self.base_rate
+
+    def _next_boundary(self, offset: float) -> Optional[float]:
+        """The next rate-change instant after ``offset``, if any."""
+        if offset < self.spike_start:
+            return self.spike_start
+        spike_end = self.spike_start + self.spike_duration
+        if offset < spike_end:
+            return spike_end
+        return None
+
+    def times(self, count: int, start: float,
+              rng: random.Random) -> Iterator[float]:
+        # Exact piecewise-constant Poisson sampling: a gap that would
+        # cross a rate boundary is discarded and redrawn at the new
+        # rate from the boundary (valid by memorylessness).  Without
+        # this, one long base-rate gap could leap clean over the
+        # spike window and the flash crowd would never happen.
+        now = start
+        produced = 0
+        while produced < count:
+            offset = now - start
+            gap = rng.expovariate(self.rate_at(offset))
+            boundary = self._next_boundary(offset)
+            if boundary is not None and offset + gap >= boundary:
+                now = start + boundary
+                continue
+            now += gap
+            yield now
+            produced += 1
+
+
+class LoadStats:
+    """Throughput / latency / drop accounting for one load run."""
+
+    def __init__(self):
+        self.issued = 0
+        self.ok = 0
+        self.failed = 0
+        #: exception-type name -> count, for requests that raised.
+        self.errors: Dict[str, int] = {}
+        self.latency = Series("latency")
+
+    @property
+    def finished(self) -> int:
+        return self.ok + self.failed
+
+    @property
+    def in_flight(self) -> int:
+        return self.issued - self.finished
+
+    def throughput(self, elapsed: float) -> float:
+        """Completed-OK requests per second of simulated time."""
+        if elapsed <= 0:
+            raise ValueError("elapsed must be positive")
+        return self.ok / elapsed
+
+    def summary(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {"issued": self.issued, "ok": self.ok,
+                               "failed": self.failed}
+        if self.latency.count:
+            out.update({"mean": self.latency.mean,
+                        "p95": self.latency.p(95)})
+        return out
+
+
+class LoadGenerator:
+    """Open-loop driver: issue requests on schedule, never wait.
+
+    Each arrival spawns its own simulation process running
+    ``request(arrival)``; the driver sleeps only between arrival
+    times, then waits for the stragglers.  ``sites`` (Domains or site
+    path strings resolved against ``topology``) are sampled uniformly
+    per request; ``popularity`` (a :class:`ZipfSampler`) assigns each
+    request an object rank.  Both are optional — a single-site,
+    single-object workload needs neither.
+    """
+
+    def __init__(self, sim: Simulator, schedule: ArrivalSchedule,
+                 request: Callable[[Arrival], Generator], count: int,
+                 rng: Optional[random.Random] = None,
+                 sites: Optional[Sequence[Domain]] = None,
+                 popularity: Optional[ZipfSampler] = None,
+                 stats: Optional[LoadStats] = None):
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        self.sim = sim
+        self.schedule = schedule
+        self.request = request
+        self.count = count
+        self.rng = rng or random.Random(0)
+        self.sites: Optional[List[Domain]] = (list(sites) if sites is not None
+                                              else None)
+        self.popularity = popularity
+        self.stats = stats if stats is not None else LoadStats()
+        # Completion is tracked per generator, not via `stats`: a
+        # LoadStats may be shared across several runs to aggregate,
+        # which must not make a later run think it finished early.
+        self._finished = 0
+        self._idle: Optional[Event] = None
+
+    def arrivals(self) -> Iterator[Arrival]:
+        """The lazily generated arrival stream (consumed by ``run``)."""
+        times = self.schedule.times(self.count, self.sim.now, self.rng)
+        for index, time in enumerate(times):
+            site = (self.sites[self.rng.randrange(len(self.sites))]
+                    if self.sites else None)
+            rank = self.popularity.sample() if self.popularity else 0
+            yield Arrival(index, time, site, rank)
+
+    def run(self) -> Generator[Event, Any, float]:
+        """The driver process; returns elapsed simulated seconds.
+
+        ``elapsed = yield from gen.run()`` inside a process, or
+        ``sim.process(gen.run())`` to run it standalone.
+        """
+        start = self.sim.now
+        for arrival in self.arrivals():
+            if arrival.time > self.sim.now:
+                yield self.sim.timeout(arrival.time - self.sim.now)
+            self.stats.issued += 1
+            self.sim.process(self._measure(arrival))
+        if self._finished < self.count:
+            # Wait for in-flight stragglers — woken exactly once by the
+            # last completion, no polling loop.
+            self._idle = self.sim.event()
+            yield self._idle
+        return self.sim.now - start
+
+    def _measure(self, arrival: Arrival) -> Generator:
+        started = self.sim.now
+        try:
+            result = yield from self.request(arrival)
+        except Exception as exc:  # noqa: BLE001 - accounted, not hidden
+            self.stats.failed += 1
+            name = type(exc).__name__
+            self.stats.errors[name] = self.stats.errors.get(name, 0) + 1
+        else:
+            if result is False:
+                self.stats.failed += 1
+            else:
+                self.stats.ok += 1
+                self.stats.latency.add(self.sim.now - started)
+        self._finished += 1
+        if self._idle is not None and self._finished >= self.count:
+            self._idle.succeed()
+            self._idle = None

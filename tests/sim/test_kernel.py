@@ -236,9 +236,11 @@ def test_kill_releases_waiters():
     sim.process(killer())
     sim.run()
     # The watcher is released at kill time; the victim's abandoned
-    # timer still pops (harmlessly) at t=100.
+    # timer is reaped (nobody else watches it), so the run ends at
+    # the kill, not at the timer's t=100 deadline.
     assert watcher.value == ("victim finished", None, 1.0)
     assert not victim.alive
+    assert sim.now == 1.0
 
 
 def test_anyof_fires_on_first():
@@ -371,6 +373,103 @@ def test_run_until_complete_detects_deadlock():
     process = sim.process(proc())
     with pytest.raises(SimulationError, match="did not complete"):
         sim.run_until_complete(process)
+
+
+def test_cancelled_timeout_never_fires():
+    sim = Simulator()
+    fired = []
+
+    def proc():
+        guard = sim.timeout(5.0)
+        guard.add_callback(lambda _e: fired.append("guard"))
+        yield sim.timeout(1.0)
+        assert guard.cancel() is True
+        assert guard.cancelled
+        yield sim.timeout(10.0)
+
+    sim.process(proc())
+    sim.run()
+    assert fired == []
+    assert sim.now == 11.0  # the cancelled 5.0 timer did not fire at 5.0
+
+
+def test_cancel_is_idempotent_and_noop_after_fire():
+    sim = Simulator()
+
+    def proc():
+        timer = sim.timeout(1.0)
+        yield timer
+        # Already fired: cancel must be a harmless no-op.
+        assert timer.cancel() is False
+        assert not timer.cancelled
+        early = sim.timeout(50.0)
+        assert early.cancel() is True
+        assert early.cancel() is False
+
+    sim.process(proc())
+    sim.run()
+
+
+def test_cancellation_compacts_heap():
+    sim = Simulator()
+    timers = [sim.timeout(100.0 + i) for i in range(1000)]
+    assert sim.heap_size == 1000
+    for timer in timers:
+        timer.cancel()
+    # Lazy invalidation plus compaction: no live entries remain and
+    # the garbage does not accumulate past the live count.
+    assert sim.heap_size == 0
+    assert sim.stale_timer_count <= 1
+    assert sim.peek() == float("inf")
+    sim.run()
+    assert sim.now == 0.0  # nothing left to grind through
+    assert sim.events_processed == 0
+
+
+def test_peek_and_run_skip_cancelled_head():
+    sim = Simulator()
+    first = sim.timeout(1.0)
+    sim.timeout(2.0)
+    first.cancel()
+    assert sim.peek() == 2.0
+    sim.run()
+    assert sim.now == 2.0
+
+
+def test_run_until_complete_with_cancelled_timers():
+    sim = Simulator()
+
+    def proc():
+        guard = sim.timeout(1000.0)
+        yield sim.timeout(1.0)
+        guard.cancel()
+        return "done"
+
+    process = sim.process(proc())
+    assert sim.run_until_complete(process, limit=10.0) == "done"
+    assert sim.stale_timer_count == 0
+
+
+def test_defused_failure_stays_defused_through_anyof():
+    # An orphaned AnyOf (its waiting process was killed) must not crash
+    # the simulation when a pre-defused teardown failure reaches it.
+    sim = Simulator()
+    gate = sim.event()
+
+    def sleeper():
+        yield AnyOf(sim, [gate, sim.timeout(100.0)])
+
+    victim = sim.process(sleeper())
+
+    def killer():
+        yield sim.timeout(1.0)
+        victim.kill()
+        gate.defuse()
+        gate.fail(RuntimeError("teardown"))
+
+    sim.process(killer())
+    sim.run()  # must not raise RuntimeError("teardown")
+    assert sim.now == 100.0
 
 
 def test_determinism_two_runs_identical():

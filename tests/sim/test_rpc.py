@@ -251,6 +251,61 @@ def test_udp_rpc_retries_through_loss(world):
     assert world.run_until(proc, limit=1000) == {"found": "X"}
 
 
+def test_channel_close_fails_pending_callers(world):
+    # Regression: close() used to kill the dispatcher without failing
+    # pending waiters, deadlocking concurrent callers without a timeout.
+    from repro.sim.transport import ConnectionClosed
+
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _echo_server(world, b)
+    outcome = []
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 7000)
+
+        def blocked():
+            try:
+                yield from channel.call("slow", {"delay": 60.0})
+            except ConnectionClosed:
+                outcome.append(("closed", world.now))
+
+        world.sim.process(blocked())
+        yield world.sim.timeout(1.0)
+        channel.close()
+        yield world.sim.timeout(1.0)
+
+    proc = a.spawn(client())
+    world.run_until(proc, limit=100)
+    # Released at close time (~1s, after the connect RTT), not at the
+    # 60s service time and not never.
+    assert len(outcome) == 1
+    assert outcome[0][0] == "closed"
+    assert outcome[0][1] < 2.0
+
+
+def test_accept_race_closes_connection(world):
+    # Regression: a connection accepted in the same instant the
+    # listener closed used to leak (never served, never closed).
+    b = world.host("server", "r0/c0/m0/s1")
+    server = RpcServer(b, 7000)
+    server.start()
+    world.run(until=world.now)  # let the accept loop arm its accept()
+    listener = server._listener
+
+    class FakeConn:
+        closed = False
+
+        def close(self):
+            self.closed = True
+
+    conn = FakeConn()
+    listener._pending.put(conn)  # the accept fires with this conn...
+    listener.close()             # ...but the listener just closed
+    world.run(until=world.now)
+    assert conn.closed
+
+
 def test_udp_rpc_times_out_against_dead_host(world):
     a = world.host("client", "r0/c0/m0/s0")
     b = world.host("node", "r0/c0/m0/s1")
@@ -266,3 +321,61 @@ def test_udp_rpc_times_out_against_dead_host(world):
 
     proc = a.spawn(run())
     assert world.run_until(proc, limit=100) == "gave up at 1.5"
+
+
+def test_udp_restart_fails_orphaned_waiters(world):
+    # Regression: _ensure_open() used to clear _pending silently after
+    # a host restart, leaving surviving callers to stall until their
+    # retry timers expired.  They must fail immediately instead.
+    from repro.sim.transport import ConnectionClosed
+
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")  # never started: no replies
+    client = UdpRpcClient(a, timeout=30.0, retries=0)
+    outcome = []
+
+    def stranded():
+        try:
+            yield from client.call(b, 5300, "lookup", {"key": "x"})
+        except ConnectionClosed:
+            outcome.append(("failed fast", world.now))
+        except RpcTimeout:
+            outcome.append(("stalled until timeout", world.now))
+
+    # Survives the crash: not registered with host a.
+    world.sim.process(stranded())
+
+    def chaos():
+        yield world.sim.timeout(1.0)
+        a.crash()
+        a.restart()
+        yield world.sim.timeout(1.0)
+        # The next call re-opens the socket and must evict the orphan.
+        try:
+            yield from client.call(b, 5300, "lookup", {"key": "y"})
+        except RpcTimeout:
+            pass
+
+    proc = world.sim.process(chaos())
+    world.run_until(proc, limit=100)
+    assert outcome == [("failed fast", 2.0)]
+
+
+def test_udp_calls_leave_no_timers_in_heap(world):
+    # The cancellation invariant: N successful calls leave the event
+    # heap with no stale (cancelled-but-present) timers and nothing
+    # pending from the calls themselves.
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c1/m0/s0")
+    _udp_server(world, b)
+    client = UdpRpcClient(a)
+
+    def run():
+        for index in range(100):
+            yield from client.call(b, 5300, "lookup", {"key": "k%d" % index})
+
+    proc = a.spawn(run())
+    world.run_until(proc, limit=1000)
+    world.run()  # drain the driver's own completion event
+    assert world.sim.stale_timer_count == 0
+    assert world.sim.heap_size == 0

@@ -295,3 +295,36 @@ def test_bytes_accounting_on_connection(world):
     a.spawn(client())
     world.run()
     assert sizes["sent"] == sizes["received"] > 1000
+
+
+def test_connection_fifo_preserved_under_jitter():
+    # Regression: delivery used to recompute the transfer delay
+    # independently of the FIFO pacing clock (a second jitter draw,
+    # or just one float-rounding ULP), letting a small message sent
+    # after a large one arrive first.  Delivery now reuses the pacing
+    # clock's exact arrival timestamp.
+    for seed in range(30):
+        world = World(topology=Topology.balanced(2, 1, 1, 2),
+                      params=LinkParameters(jitter_fraction=0.3),
+                      seed=seed)
+        a = world.host("a", "r0/c0/m0/s0")
+        b = world.host("b", "r1/c0/m0/s1")
+        listener = b.listen(7000)
+        received = []
+
+        def sender():
+            conn = yield from a.connect(b, 7000)
+            conn.send("first", size=200_000)
+            conn.send("second", size=10)
+            yield world.sim.timeout(60.0)
+
+        def receiver():
+            conn = yield listener.accept()
+            for _ in range(2):
+                message = yield conn.recv()
+                received.append(message)
+
+        b.spawn(receiver())
+        proc = a.spawn(sender())
+        world.run_until(proc, limit=1000)
+        assert received == ["first", "second"], "seed %d" % seed
