@@ -8,18 +8,23 @@ table the corresponding paper figure implies, and persists it under
 Throughput benchmarks additionally persist a machine-readable record
 via :func:`save_json` (events/sec, requests/sec, peak heap size, ...)
 so successive PRs can be compared as a perf trajectory:
-``benchmarks/results/<name>.json``.
+``benchmarks/results/<name>.json``.  CI redirects the output with
+``BENCH_RESULTS_DIR`` so fresh records can be compared against the
+committed baselines by ``check_trajectory.py`` without overwriting
+them (see benchmarks/README.md).
 """
 
 import json
+import os
 import pathlib
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_DIR = pathlib.Path(os.environ.get(
+    "BENCH_RESULTS_DIR", pathlib.Path(__file__).parent / "results"))
 
 
 def save_result(name: str, text: str) -> None:
     """Persist a formatted experiment table (and echo it)."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
     print()
     print(text)
@@ -32,7 +37,7 @@ def save_json(name: str, record: dict) -> None:
     ``{"events_per_sec": ..., "requests_per_sec": ...,
     "peak_heap_size": ...}`` — with stable keys across PRs.
     """
-    RESULTS_DIR.mkdir(exist_ok=True)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     text = json.dumps(record, indent=2, sort_keys=True)
     (RESULTS_DIR / ("%s.json" % name)).write_text(text + "\n")
     print()

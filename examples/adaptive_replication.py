@@ -13,10 +13,15 @@ the least wide-area traffic while improving user response time over the
 single-scenario baselines.
 
 Run:  python examples/adaptive_replication.py
+(set GDN_EXAMPLE_SCALE=small for a reduced CI-sized run)
 """
+
+import os
 
 from repro.experiments.e5_adaptive import (format_result,
                                            run_adaptive_replication_experiment)
+
+SMALL = os.environ.get("GDN_EXAMPLE_SCALE", "").lower() in ("small", "ci")
 
 
 def main():
@@ -24,7 +29,8 @@ def main():
     print("building four GDN deployments and replaying the trace; this")
     print("takes a few seconds...\n")
     result = run_adaptive_replication_experiment(
-        seed=9, document_count=30, request_count=700)
+        seed=9, document_count=12 if SMALL else 30,
+        request_count=200 if SMALL else 700)
     print(format_result(result))
     rows = {row["strategy"]: row for row in result["rows"]}
     adaptive = rows["Adaptive"]

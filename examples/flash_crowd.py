@@ -12,13 +12,20 @@ lookups in that region with the nearer contact address, and the HTTPDs'
 soft-state bindings pick it up.
 
 Run:  python examples/flash_crowd.py
+(set GDN_EXAMPLE_SCALE=small for a reduced CI-sized run)
 """
+
+import os
 
 from repro.gdn.deployment import GdnDeployment
 from repro.gdn.scenario import ReplicationScenario
 from repro.sim.topology import Topology
-from repro.workloads.loadgen import FlashCrowdSchedule, LoadGenerator
+from repro.workloads.loadgen import FlashCrowdSchedule, LoadStats
 from repro.workloads.packages import synthetic_file
+from repro.workloads.scenario import OpenLoopScenario
+
+SMALL = os.environ.get("GDN_EXAMPLE_SCALE", "").lower() in ("small", "ci")
+CROWD = 4 if SMALL else 8
 
 PACKAGE = "/os/distributions/PenguinOS"
 FILES = {"README": synthetic_file("penguin-readme", 1_500),
@@ -44,15 +51,16 @@ def crowd_downloads(gdn, count, label):
 
     schedule = FlashCrowdSchedule(base_rate=0.2, peak_rate=4.0,
                                   spike_start=0.0, spike_duration=10.0)
-    generator = LoadGenerator(gdn.world.sim, schedule, one_download, count,
-                              rng=gdn.world.rng_for("crowd-" + label),
-                              sites=crowd_sites)
-    gdn.run(generator.run(), limit=1e9)
+    scenario = OpenLoopScenario(schedule, count, sites=crowd_sites,
+                                label="crowd-" + label)
+    stats = LoadStats()
+    gdn.run(scenario.drive(gdn.world.sim, one_download,
+                           rng=gdn.world.rng_for("crowd-" + label),
+                           stats=stats), limit=1e9)
     browser_for.close()
-    mean = generator.stats.latency.mean
+    mean = stats.latency.mean
     print("  %-24s mean download %7.1f ms  (%d ok, %d failed)"
-          % (label + ":", mean * 1e3, generator.stats.ok,
-             generator.stats.failed))
+          % (label + ":", mean * 1e3, stats.ok, stats.failed))
     return mean
 
 
@@ -80,7 +88,7 @@ def main():
           % PACKAGE)
 
     print("flash crowd from region r1 — every ISO crosses the world:")
-    slow = crowd_downloads(gdn, 8, "single replica")
+    slow = crowd_downloads(gdn, CROWD, "single replica")
     wan_before = gdn.world.network.meter.wide_area_bytes()
 
     def adapt():
@@ -91,7 +99,7 @@ def main():
     print("\nmoderator ran add_replica(%r, 'gos-r1-0')\n" % PACKAGE)
 
     print("same crowd, after the scenario adapted:")
-    fast = crowd_downloads(gdn, 8, "replica in r1")
+    fast = crowd_downloads(gdn, CROWD, "replica in r1")
     wan_after = gdn.world.network.meter.wide_area_bytes()
 
     print("\nspeedup from one replica near the crowd: %.1fx"

@@ -28,8 +28,9 @@ from ..analysis.tables import Table, format_seconds
 from ..gdn.deployment import GdnDeployment
 from ..gdn.scenario import ReplicationScenario
 from ..sim.topology import Topology
-from ..workloads.loadgen import LoadGenerator, UniformSchedule
+from ..workloads.loadgen import LoadStats, UniformSchedule
 from ..workloads.packages import synthetic_file
+from ..workloads.scenario import OpenLoopScenario
 
 __all__ = ["run_load_scaling_experiment", "format_result", "assert_shape"]
 
@@ -74,12 +75,14 @@ def _run_deployment(replicate: bool, offered_load: float, seed: int,
             PACKAGE, _FILE)
         return response.ok
 
-    generator = LoadGenerator(gdn.world.sim, UniformSchedule(offered_load),
-                              one_request, request_count,
-                              rng=gdn.world.rng_for("e10-load"),
-                              sites=gdn.world.topology.sites)
-    elapsed = gdn.run(generator.run(), limit=1e9)
-    stats = generator.stats
+    scenario = OpenLoopScenario(UniformSchedule(offered_load),
+                                request_count,
+                                sites=gdn.world.topology.sites,
+                                label="e10-load")
+    stats = LoadStats()
+    elapsed = gdn.run(scenario.drive(gdn.world.sim, one_request,
+                                     rng=gdn.world.rng_for("e10-load"),
+                                     stats=stats), limit=1e9)
     return {
         "replicate": replicate,
         "offered": offered_load,

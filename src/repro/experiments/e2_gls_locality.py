@@ -23,6 +23,8 @@ from ..gls.service import GlsClient
 from ..gls.tree import GlsTree
 from ..sim.topology import Level, Topology
 from ..sim.world import World
+from ..workloads.loadgen import LoadStats
+from ..workloads.scenario import ClosedLoopScenario
 
 __all__ = ["run_gls_locality_experiment", "format_result"]
 
@@ -57,22 +59,28 @@ def run_gls_locality_experiment(seed: int = 11,
     for level, site in _CLIENT_SITES:
         client_host = world.host("client-%s" % level.name.lower(), site)
         client = GlsClient(world, client_host, tree)
+        last = {}
 
-        def lookups(client=client):
-            hops = None
-            found = None
-            start = world.now
-            for _ in range(lookups_per_point):
-                reply = yield from client.lookup_detailed(oid_hex)
-                hops = reply["hops"]
-                found = reply["found"]
-                assert reply["cas"], "lookup must find the replica"
-            return hops, found, (world.now - start) / lookups_per_point
+        def lookup(arrival, client=client, last=last):
+            reply = yield from client.lookup_detailed(oid_hex)
+            last["hops"] = reply["hops"]
+            last["found"] = reply["found"]
+            assert reply["cas"], "lookup must find the replica"
+            return True
 
-        hops, found, latency = world.run_until(
-            client_host.spawn(lookups()), limit=1e7)
-        rows.append({"separation": level.name, "hops": hops,
-                     "latency": latency, "found_at": found or "<root>"})
+        # One client resolving back-to-back: a closed loop with zero
+        # think time reproduces the figure's sequential lookups.
+        scenario = ClosedLoopScenario(clients=1, think_time=0.0,
+                                      requests_per_client=lookups_per_point,
+                                      label="gls-%s" % level.name.lower())
+        stats = LoadStats()
+        world.run_until(world.sim.process(scenario.drive(
+            world.sim, lookup, rng=world.rng_for("e2-" + level.name),
+            stats=stats)), limit=1e7)
+        assert stats.ok == lookups_per_point
+        rows.append({"separation": level.name, "hops": last["hops"],
+                     "latency": stats.latency.mean,
+                     "found_at": last["found"] or "<root>"})
     return {"rows": rows, "oid": oid_hex}
 
 

@@ -25,15 +25,17 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
-from ..analysis.metrics import Series, TrafficDelta
+from ..analysis.metrics import TrafficDelta
 from ..analysis.tables import Table, format_bytes, format_seconds
 from ..baselines.mirror import MirrorNetwork
 from ..baselines.www import WwwClient, WwwServer
 from ..gdn.deployment import GdnDeployment
 from ..gdn.scenario import ObjectUsage, ScenarioAdvisor
 from ..sim.topology import Topology
+from ..workloads.loadgen import LoadStats
 from ..workloads.packages import PackageSpec, generate_corpus
 from ..workloads.population import ClientPopulation, RequestStream
+from ..workloads.scenario import TraceScenario
 
 __all__ = ["run_end_to_end_experiment", "format_result"]
 
@@ -70,6 +72,23 @@ class _SiteClients:
         return self._hosts[key]
 
 
+def _replay(world, stream: RequestStream, one_request, label: str,
+            rng_label: str) -> LoadStats:
+    """Replay ``stream`` through the scenario engine; sequential
+    pacing so every system serves the identical back-to-back trace
+    (queueing effects would drown the per-request comparison)."""
+    stats = LoadStats()
+    scenario = TraceScenario.from_stream(stream, pacing="sequential",
+                                         label=label)
+    world.run_until(world.sim.process(scenario.drive(
+        world.sim, one_request, rng=world.rng_for(rng_label),
+        stats=stats)), limit=1e9)
+    assert stats.ok == len(stream), \
+        "%s: %d of %d requests failed (%s)" % (label, stats.failed,
+                                               len(stream), stats.errors)
+    return stats
+
+
 def _run_www(corpus: List[PackageSpec], stream: RequestStream,
              seed: int) -> dict:
     from ..sim.world import World
@@ -85,26 +104,24 @@ def _run_www(corpus: List[PackageSpec], stream: RequestStream,
     setup_bytes = setup.wide_area_bytes()  # zero: no distribution
 
     serving = TrafficDelta(world.network.meter)
-    latency = Series("www")
     clients = _SiteClients(world, "user")
     www_clients = {}
 
-    def replay():
-        for request in stream:
-            host = clients.host_for(request.site)
-            client = www_clients.get(host.name)
-            if client is None:
-                client = WwwClient(world, host, server)
-                www_clients[host.name] = client
-            spec = corpus[request.object_index]
-            path = "%s/%s" % (spec.name, spec.largest_file)
-            status, _body, elapsed = yield from client.get(path)
-            assert status == 200
-            latency.add(elapsed)
+    def one_request(arrival):
+        host = clients.host_for(arrival.site)
+        client = www_clients.get(host.name)
+        if client is None:
+            client = WwwClient(world, host, server)
+            www_clients[host.name] = client
+        spec = corpus[arrival.rank]
+        path = "%s/%s" % (spec.name, spec.largest_file)
+        status, _body, _elapsed = yield from client.get(path)
+        return status == 200
 
-    world.run_until(world.sim.process(replay()), limit=1e9)
+    stats = _replay(world, stream, one_request, "www", "e3-www")
     return {"system": "WWW single origin", "setup_wan": setup_bytes,
-            "serving_wan": serving.wide_area_bytes(), "latency": latency}
+            "serving_wan": serving.wide_area_bytes(),
+            "latency": stats.latency}
 
 
 def _run_mirror(corpus: List[PackageSpec], stream: RequestStream,
@@ -127,21 +144,19 @@ def _run_mirror(corpus: List[PackageSpec], stream: RequestStream,
     setup_bytes = setup.wide_area_bytes()
 
     serving = TrafficDelta(world.network.meter)
-    latency = Series("mirror")
     clients = _SiteClients(world, "user")
 
-    def replay():
-        for request in stream:
-            host = clients.host_for(request.site)
-            spec = corpus[request.object_index]
-            path = "%s/%s" % (spec.name, spec.largest_file)
-            status, _body, elapsed = yield from network.fetch(host, path)
-            assert status == 200
-            latency.add(elapsed)
+    def one_request(arrival):
+        host = clients.host_for(arrival.site)
+        spec = corpus[arrival.rank]
+        path = "%s/%s" % (spec.name, spec.largest_file)
+        status, _body, _elapsed = yield from network.fetch(host, path)
+        return status == 200
 
-    world.run_until(world.sim.process(replay()), limit=1e9)
+    stats = _replay(world, stream, one_request, "mirror", "e3-mirror")
     return {"system": "FTP full mirroring", "setup_wan": setup_bytes,
-            "serving_wan": serving.wide_area_bytes(), "latency": latency}
+            "serving_wan": serving.wide_area_bytes(),
+            "latency": stats.latency}
 
 
 def _run_gdn(corpus: List[PackageSpec], stream: RequestStream,
@@ -174,27 +189,20 @@ def _run_gdn(corpus: List[PackageSpec], stream: RequestStream,
     setup_bytes = setup.wide_area_bytes()
 
     serving = TrafficDelta(gdn.world.network.meter)
-    latency = Series("gdn")
-    browsers = {}
+    browser_for = gdn.browser_pool("browser")
 
-    def replay():
-        for request in stream:
-            key = request.site.path
-            browser = browsers.get(key)
-            if browser is None:
-                browser = gdn.add_browser(
-                    "browser-%s" % key.replace("/", "-"), key)
-                browsers[key] = browser
-            spec = corpus[request.object_index]
-            response = yield from browser.download(spec.name,
-                                                   spec.largest_file)
-            assert response.ok, response.status
-            latency.add(response.elapsed)
+    def one_request(arrival):
+        spec = corpus[arrival.rank]
+        response = yield from browser_for(arrival.site.path).download(
+            spec.name, spec.largest_file)
+        return response.ok
 
-    gdn.run(replay(), limit=1e9)
+    stats = _replay(gdn.world, stream, one_request, "gdn", "e3-gdn")
+    browser_for.close()
     return {"system": "GDN (per-object scenarios)",
             "setup_wan": setup_bytes,
-            "serving_wan": serving.wide_area_bytes(), "latency": latency}
+            "serving_wan": serving.wide_area_bytes(),
+            "latency": stats.latency}
 
 
 def run_end_to_end_experiment(seed: int = 3, package_count: int = 12,

@@ -16,11 +16,12 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..analysis.metrics import Series
 from ..analysis.tables import Table, format_seconds
 from ..gdn.deployment import GdnDeployment
 from ..sim import rpc
 from ..sim.topology import Topology
+from ..workloads.loadgen import BurstSchedule, LoadStats
+from ..workloads.scenario import ClosedLoopScenario, OpenLoopScenario
 
 __all__ = ["run_gns_resolution_experiment", "format_result"]
 
@@ -39,19 +40,26 @@ def run_gns_resolution_experiment(seed: int = 29, name_count: int = 40,
         tool_host = gdn.world.host("tool", "r0/c0/m0/s1")
         updates_before = gdn.dns_primary.updates_applied
 
-        def add_names(gdn=gdn, tool_host=tool_host):
-            channel = yield from rpc.RpcChannel.open(
-                tool_host, gdn.authority.host, gdn.authority.port)
-            pending = [gdn.world.sim.process(channel.call(
-                "add_name", {"name": "/apps/pkg%03d" % i,
-                             "oid": "%040x" % i}))
-                for i in range(name_count)]
-            for process in pending:
-                yield process
-            channel.close()
+        channel = gdn.run(rpc.RpcChannel.open(
+            tool_host, gdn.authority.host, gdn.authority.port),
+            host=tool_host)
 
+        def add_name(arrival, channel=channel):
+            yield from channel.call(
+                "add_name", {"name": "/apps/pkg%03d" % arrival.index,
+                             "oid": "%040x" % arrival.index})
+
+        # The tool pushes all registrations concurrently: an open-loop
+        # burst over one channel.
+        scenario = OpenLoopScenario(BurstSchedule(), name_count,
+                                    label="gns-burst")
+        stats = LoadStats()
         start = gdn.world.now
-        gdn.run(add_names(), host=tool_host)
+        gdn.run(scenario.drive(gdn.world.sim, add_name,
+                               rng=gdn.world.rng_for("e7-burst"),
+                               stats=stats))
+        assert stats.ok == name_count
+        channel.close()
         batching_rows.append({
             "window": window,
             "updates": gdn.dns_primary.updates_applied - updates_before,
@@ -65,36 +73,40 @@ def run_gns_resolution_experiment(seed: int = 29, name_count: int = 40,
     gdn.initial_sync()
     tool_host = gdn.world.host("tool", "r0/c0/m0/s1")
 
-    def add_names():
-        for index in range(name_count):
-            yield from rpc.call(tool_host, gdn.authority.host,
-                                gdn.authority.port, "add_name",
-                                {"name": "/apps/pkg%03d" % index,
-                                 "oid": "%040x" % index})
+    def add_name(arrival):
+        yield from rpc.call(tool_host, gdn.authority.host,
+                            gdn.authority.port, "add_name",
+                            {"name": "/apps/pkg%03d" % arrival.index,
+                             "oid": "%040x" % arrival.index})
 
-    gdn.run(add_names(), host=tool_host)
+    one_by_one = ClosedLoopScenario(clients=1, think_time=0.0,
+                                    requests_per_client=name_count,
+                                    label="gns-register")
+    gdn.run(one_by_one.drive(gdn.world.sim, add_name,
+                             rng=gdn.world.rng_for("e7-register")))
     gdn.settle(5.0)
 
     user_host = gdn.world.host("user", "r2/c1/m0/s1")
     gns = gdn._name_service(user_host)
-    cold = Series("cold")
-    warm = Series("warm")
 
-    def resolve_all():
-        for index in range(name_count):
-            name = "/apps/pkg%03d" % index
-            start = gdn.world.now
-            yield from gns.resolve(name)
-            cold.add(gdn.world.now - start)
-        for index in range(name_count):
-            name = "/apps/pkg%03d" % index
-            start = gdn.world.now
-            yield from gns.resolve(name)
-            warm.add(gdn.world.now - start)
+    def resolve(arrival):
+        yield from gns.resolve("/apps/pkg%03d" % arrival.index)
 
-    gdn.run(resolve_all(), host=user_host)
-    result["cold"] = cold
-    result["warm"] = warm
+    # One user resolving every name twice: first pass cold, second
+    # pass entirely out of the resolver cache.
+    def resolve_pass(label):
+        scenario = ClosedLoopScenario(clients=1, think_time=0.0,
+                                      requests_per_client=name_count,
+                                      label="gns-" + label)
+        stats = LoadStats()
+        gdn.run(scenario.drive(gdn.world.sim, resolve,
+                               rng=gdn.world.rng_for("e7-" + label),
+                               stats=stats))
+        assert stats.ok == name_count
+        return stats.latency
+
+    result["cold"] = resolve_pass("cold")
+    result["warm"] = resolve_pass("warm")
     result["queries_sent"] = gns.resolver.queries_sent
     result["cache_hits"] = gns.resolver.cache_hits
 
@@ -107,11 +119,12 @@ def run_gns_resolution_experiment(seed: int = 29, name_count: int = 40,
     # Resolving again after "replica movement" (a pure GLS-side event)
     # is a cache hit: the name layer never saw it.
     hits_before = gns.resolver.cache_hits
-
-    def resolve_after_move():
-        yield from gns.resolve("/apps/pkg000")
-
-    gdn.run(resolve_after_move(), host=user_host)
+    after_move = ClosedLoopScenario(clients=1, think_time=0.0,
+                                    requests_per_client=1,
+                                    label="gns-after-move")
+    gdn.run(after_move.drive(gdn.world.sim,
+                             lambda arrival: gns.resolve("/apps/pkg000"),
+                             rng=gdn.world.rng_for("e7-move")))
     result["stable_after_move"] = gns.resolver.cache_hits == hits_before + 1
     return result
 

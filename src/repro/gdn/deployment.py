@@ -422,7 +422,7 @@ class GdnDeployment:
         """region path -> one object-server name (for ScenarioAdvisor)."""
         mapping: Dict[str, str] = {}
         for name, gos in sorted(self.object_servers.items()):
-            region = [d for d in gos.host.site.ancestors()][3]
+            region = gos.host.site.region()
             mapping.setdefault(region.path, name)
         return mapping
 

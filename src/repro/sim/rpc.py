@@ -279,7 +279,16 @@ class RpcChannel:
                    "args": args or {}, "src": self.host.name}
         waiter = self.sim.event()
         self._pending[request_id] = waiter
-        self.conn.send(request, size=size)
+        try:
+            self.conn.send(request, size=size)
+        except Exception:
+            # A synchronous send failure (closed or partitioned
+            # connection) means no reply can ever match this waiter;
+            # leaving it registered would make the dispatcher's
+            # shutdown sweep fail an event nobody waits on, which the
+            # kernel reports as an unhandled failure.
+            self._pending.pop(request_id, None)
+            raise
         if timeout is None:
             value = yield waiter
             return value

@@ -79,6 +79,23 @@ class Domain:
             yield node
             node = node.parent
 
+    def region(self) -> "Domain":
+        """The ``Level.REGION`` ancestor, derived defensively.
+
+        On a full five-level hierarchy this is the world-root's child
+        above this domain.  Shallower trees (hand-built domains without
+        the full chain) fall back to the topmost ancestor below the
+        root, or to ``self`` when the domain stands alone — callers get
+        a usable grouping key instead of an IndexError.
+        """
+        candidate = self
+        for node in self.ancestors():
+            if node.level == Level.REGION:
+                return node
+            if node.parent is not None:
+                candidate = node
+        return candidate
+
     def sites(self) -> Iterator["Domain"]:
         """All leaf (site) domains under this domain, in insertion order."""
         if self.level == Level.SITE:

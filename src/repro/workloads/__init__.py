@@ -1,17 +1,23 @@
 """Workload generators: popularity, packages, populations, load."""
 
-from .loadgen import (Arrival, ArrivalSchedule, FlashCrowdSchedule,
-                      LoadGenerator, LoadStats, PoissonSchedule,
-                      UniformSchedule)
+from .loadgen import (Arrival, ArrivalSchedule, BurstSchedule,
+                      FlashCrowdSchedule, LoadGenerator, LoadStats,
+                      PoissonSchedule, UniformSchedule)
 from .packages import PackageSpec, generate_corpus, synthetic_file
 from .population import ClientPopulation, Request, RequestStream
+from .scenario import (ClosedLoopScenario, HybridScenario, OpenLoopScenario,
+                       RequestMix, Scenario, Soak, SoakReport, TraceEvent,
+                       TraceScenario, load_trace, record_stream, save_trace)
 from .webtrace import WebDocument, make_web_trace
 from .zipf import ZipfSampler
 
 __all__ = [
-    "Arrival", "ArrivalSchedule", "FlashCrowdSchedule", "LoadGenerator",
-    "LoadStats", "PoissonSchedule", "UniformSchedule",
+    "Arrival", "ArrivalSchedule", "BurstSchedule", "FlashCrowdSchedule",
+    "LoadGenerator", "LoadStats", "PoissonSchedule", "UniformSchedule",
     "PackageSpec", "generate_corpus", "synthetic_file",
     "ClientPopulation", "Request", "RequestStream",
+    "ClosedLoopScenario", "HybridScenario", "OpenLoopScenario",
+    "RequestMix", "Scenario", "Soak", "SoakReport", "TraceEvent",
+    "TraceScenario", "load_trace", "record_stream", "save_trace",
     "WebDocument", "make_web_trace", "ZipfSampler",
 ]

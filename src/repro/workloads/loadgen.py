@@ -63,28 +63,38 @@ __all__ = [
     "ArrivalSchedule",
     "UniformSchedule",
     "PoissonSchedule",
+    "BurstSchedule",
     "FlashCrowdSchedule",
     "LoadStats",
     "LoadGenerator",
+    "measured",
 ]
 
 
 class Arrival:
     """One scheduled request: when, from where, for what."""
 
-    __slots__ = ("index", "time", "site", "rank")
+    __slots__ = ("index", "time", "site", "rank", "kind")
 
     def __init__(self, index: int, time: float,
-                 site: Optional[Domain], rank: int):
+                 site: Optional[Domain], rank: int, kind: str = "read"):
         self.index = index
         self.time = time
+        #: where the request originates: a Domain, a site-path string
+        #: (trace replays without a resolved topology), or None.
         self.site = site
+        #: object rank / index this request targets (0 = hottest).
         self.rank = rank
+        #: request kind, "read" or "write" (traces and mixes set it).
+        self.kind = kind
 
     def __repr__(self) -> str:
-        where = self.site.path if self.site is not None else "-"
-        return ("Arrival(#%d %.3fs obj%d @ %s)"
-                % (self.index, self.time, self.rank, where))
+        if self.site is None:
+            where = "-"
+        else:
+            where = getattr(self.site, "path", self.site)
+        return ("Arrival(#%d %.3fs %s obj%d @ %s)"
+                % (self.index, self.time, self.kind, self.rank, where))
 
 
 class ArrivalSchedule:
@@ -130,6 +140,19 @@ class PoissonSchedule(ArrivalSchedule):
         for _ in range(count):
             now += rng.expovariate(self.rate)
             yield now
+
+
+class BurstSchedule(ArrivalSchedule):
+    """All arrivals at once: a synchronized burst at ``start``.
+
+    The degenerate open-loop case — every request is issued at the
+    same instant, e.g. a tool pushing a batch of updates concurrently.
+    """
+
+    def times(self, count: int, start: float,
+              rng: random.Random) -> Iterator[float]:
+        for _ in range(count):
+            yield start
 
 
 class FlashCrowdSchedule(ArrivalSchedule):
@@ -234,12 +257,30 @@ class LoadGenerator:
     single-object workload needs neither.
     """
 
-    def __init__(self, sim: Simulator, schedule: ArrivalSchedule,
-                 request: Callable[[Arrival], Generator], count: int,
+    def __init__(self, sim: Simulator,
+                 schedule: Optional[ArrivalSchedule],
+                 request: Callable[[Arrival], Generator],
+                 count: Optional[int] = None,
                  rng: Optional[random.Random] = None,
                  sites: Optional[Sequence[Domain]] = None,
                  popularity: Optional[ZipfSampler] = None,
-                 stats: Optional[LoadStats] = None):
+                 stats: Optional[LoadStats] = None,
+                 arrivals: Optional[Sequence[Arrival]] = None,
+                 mix: Optional[Any] = None):
+        if arrivals is not None:
+            # A prebuilt arrival stream (trace replay, request mixes)
+            # replaces the schedule/sites/popularity drawing entirely.
+            self._prebuilt: Optional[List[Arrival]] = list(arrivals)
+            if count is None:
+                count = len(self._prebuilt)
+            elif count != len(self._prebuilt):
+                raise ValueError("count does not match the arrival list")
+        else:
+            if schedule is None:
+                raise ValueError("need a schedule or prebuilt arrivals")
+            if count is None:
+                raise ValueError("count is required with a schedule")
+            self._prebuilt = None
         if count < 1:
             raise ValueError("count must be >= 1")
         self.sim = sim
@@ -250,6 +291,10 @@ class LoadGenerator:
         self.sites: Optional[List[Domain]] = (list(sites) if sites is not None
                                               else None)
         self.popularity = popularity
+        #: optional request mix: an object with ``draw(rng) -> (rank,
+        #: kind)`` (see :class:`.scenario.RequestMix`); takes
+        #: precedence over ``popularity`` and also sets arrival kinds.
+        self.mix = mix
         self.stats = stats if stats is not None else LoadStats()
         # Completion is tracked per generator, not via `stats`: a
         # LoadStats may be shared across several runs to aggregate,
@@ -259,12 +304,21 @@ class LoadGenerator:
 
     def arrivals(self) -> Iterator[Arrival]:
         """The lazily generated arrival stream (consumed by ``run``)."""
+        if self._prebuilt is not None:
+            return iter(self._prebuilt)
+        return self._drawn_arrivals()
+
+    def _drawn_arrivals(self) -> Iterator[Arrival]:
         times = self.schedule.times(self.count, self.sim.now, self.rng)
         for index, time in enumerate(times):
             site = (self.sites[self.rng.randrange(len(self.sites))]
                     if self.sites else None)
-            rank = self.popularity.sample() if self.popularity else 0
-            yield Arrival(index, time, site, rank)
+            if self.mix is not None:
+                rank, kind = self.mix.draw(self.rng)
+            else:
+                rank = self.popularity.sample() if self.popularity else 0
+                kind = "read"
+            yield Arrival(index, time, site, rank, kind)
 
     def run(self) -> Generator[Event, Any, float]:
         """The driver process; returns elapsed simulated seconds.
@@ -286,20 +340,29 @@ class LoadGenerator:
         return self.sim.now - start
 
     def _measure(self, arrival: Arrival) -> Generator:
-        started = self.sim.now
-        try:
-            result = yield from self.request(arrival)
-        except Exception as exc:  # noqa: BLE001 - accounted, not hidden
-            self.stats.failed += 1
-            name = type(exc).__name__
-            self.stats.errors[name] = self.stats.errors.get(name, 0) + 1
-        else:
-            if result is False:
-                self.stats.failed += 1
-            else:
-                self.stats.ok += 1
-                self.stats.latency.add(self.sim.now - started)
+        yield from measured(self.sim, self.request, arrival, self.stats)
         self._finished += 1
         if self._idle is not None and self._finished >= self.count:
             self._idle.succeed()
             self._idle = None
+
+
+def measured(sim: Simulator, request: Callable[[Arrival], Generator],
+             arrival: Arrival, stats: LoadStats) -> Generator:
+    """One measured request — THE accounting contract for all drivers
+    (open loop, closed loop, trace replay): ``False`` ⇒ failed, an
+    exception ⇒ counted under its type name, anything else ⇒ ok with
+    latency recorded."""
+    started = sim.now
+    try:
+        result = yield from request(arrival)
+    except Exception as exc:  # noqa: BLE001 - accounted, not hidden
+        stats.failed += 1
+        name = type(exc).__name__
+        stats.errors[name] = stats.errors.get(name, 0) + 1
+    else:
+        if result is False:
+            stats.failed += 1
+        else:
+            stats.ok += 1
+            stats.latency.add(sim.now - started)

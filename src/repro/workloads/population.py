@@ -29,7 +29,7 @@ class Request:
         self.kind = kind  # "read" or "write"
         self.site = site
         self.object_index = object_index
-        self.region = list(site.ancestors())[3].path
+        self.region = site.region().path
 
     def __repr__(self) -> str:
         return ("Request(%.2fs %s obj%d @ %s)"

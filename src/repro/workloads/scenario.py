@@ -1,0 +1,547 @@
+"""Unified scenario engine: one abstraction for every way load is made.
+
+The paper's evidence is workload-driven — the departmental web-trace
+study (§3.1) and the flash-crowd / partitioning scenarios all hinge on
+heterogeneous, time-varying request streams.  Before this module each
+experiment built its own request loop; now they all describe *what*
+the workload is as a :class:`Scenario` and let the engine drive it
+through :class:`~repro.workloads.loadgen.LoadGenerator`-style
+accounting into one shared :class:`LoadStats`.
+
+Four scenario families:
+
+* :class:`OpenLoopScenario` — scheduled arrivals (uniform / Poisson /
+  burst / flash crowd) that never wait for the system, optionally with
+  a :class:`RequestMix` giving per-object popularity weights and
+  read/write kinds.
+* :class:`TraceScenario` — replay of a recorded or synthetic trace:
+  a :class:`~repro.workloads.population.RequestStream`, a list of
+  :class:`TraceEvent`, or a CSV/JSONL trace file written by
+  :func:`save_trace`.  Same seed + same trace ⇒ identical stats.
+* :class:`ClosedLoopScenario` — a population of think-time clients;
+  each waits for its own previous request before thinking and issuing
+  the next.  The classic interactive-user model, for experiments where
+  per-request sequencing matters (GLS lookups, name resolution).
+* :class:`HybridScenario` — any combination of the above running
+  concurrently against the same system and stats: e.g. a closed-loop
+  population of regulars plus an open-loop flash crowd.
+
+:class:`Soak` composes any scenario with
+:class:`~repro.sim.failures.FailureInjector` faults (host
+crash/restart, partitions) and end-of-run invariant checks — the
+long-haul harness behind ``examples/soak.py``.
+
+Every scenario is driven the same way::
+
+    stats = LoadStats()
+    elapsed = world.run_until(world.sim.process(
+        scenario.drive(world.sim, do_one, rng=world.rng_for("load"),
+                       stats=stats)), limit=1e9)
+
+where ``do_one(arrival)`` is a generator performing one request; the
+arrival carries ``site``, ``rank`` (object index) and ``kind``
+("read"/"write").
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+import random
+from typing import (Any, Callable, Dict, Generator, Iterable, List,
+                    Optional, Sequence, Tuple, Union)
+
+from ..sim.failures import FailureInjector
+from ..sim.kernel import Simulator
+from ..sim.topology import Domain, Topology
+from ..sim.transport import Host
+from ..sim.world import World
+from .loadgen import (Arrival, ArrivalSchedule, LoadGenerator, LoadStats,
+                      measured)
+from .population import RequestStream
+from .zipf import ZipfSampler
+
+__all__ = [
+    "TraceEvent",
+    "record_stream",
+    "save_trace",
+    "load_trace",
+    "RequestMix",
+    "Scenario",
+    "OpenLoopScenario",
+    "TraceScenario",
+    "ClosedLoopScenario",
+    "HybridScenario",
+    "Soak",
+    "SoakReport",
+]
+
+RequestFn = Callable[[Arrival], Generator]
+
+
+# -- trace format -----------------------------------------------------------
+
+class TraceEvent:
+    """One line of a trace: relative time, kind, object, origin site."""
+
+    __slots__ = ("time", "kind", "object_index", "site")
+
+    def __init__(self, time: float, kind: str, object_index: int,
+                 site: Union[Domain, str, None] = None):
+        self.time = time
+        self.kind = kind
+        self.object_index = object_index
+        self.site = site
+
+    @property
+    def site_path(self) -> Optional[str]:
+        if self.site is None:
+            return None
+        return getattr(self.site, "path", self.site)
+
+    def __repr__(self) -> str:
+        return ("TraceEvent(%.3fs %s obj%d @ %s)"
+                % (self.time, self.kind, self.object_index,
+                   self.site_path or "-"))
+
+
+def record_stream(stream: Iterable) -> List[TraceEvent]:
+    """Adapt a :class:`RequestStream` (or any iterable of objects with
+    ``time``/``kind``/``object_index``/``site``) into trace events."""
+    return [TraceEvent(request.time, request.kind, request.object_index,
+                       request.site)
+            for request in stream]
+
+
+def save_trace(path: Union[str, pathlib.Path],
+               events: Iterable[TraceEvent]) -> None:
+    """Write a trace file; format picked by suffix (.csv or .jsonl).
+
+    The recorder half of trace replay: synthesize a workload once
+    (e.g. via :class:`~repro.workloads.population.ClientPopulation`
+    and :func:`record_stream`), save it, and replay the identical
+    stream across runs and PRs.
+    """
+    path = pathlib.Path(path)
+    if path.suffix == ".csv":
+        with path.open("w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["time", "kind", "object", "site"])
+            for event in events:
+                writer.writerow(["%r" % event.time, event.kind,
+                                 event.object_index, event.site_path or ""])
+    elif path.suffix == ".jsonl":
+        with path.open("w") as fh:
+            for event in events:
+                fh.write(json.dumps({
+                    "time": event.time, "kind": event.kind,
+                    "object": event.object_index,
+                    "site": event.site_path}) + "\n")
+    else:
+        raise ValueError("unknown trace format %r (use .csv or .jsonl)"
+                         % path.suffix)
+
+
+def load_trace(path: Union[str, pathlib.Path]) -> List[TraceEvent]:
+    """Read a trace file written by :func:`save_trace`."""
+    path = pathlib.Path(path)
+    events: List[TraceEvent] = []
+    if path.suffix == ".csv":
+        with path.open(newline="") as fh:
+            for row in csv.DictReader(fh):
+                events.append(TraceEvent(float(row["time"]), row["kind"],
+                                         int(row["object"]),
+                                         row["site"] or None))
+    elif path.suffix == ".jsonl":
+        with path.open() as fh:
+            for line in fh:
+                if not line.strip():
+                    continue
+                raw = json.loads(line)
+                events.append(TraceEvent(float(raw["time"]), raw["kind"],
+                                         int(raw["object"]),
+                                         raw.get("site")))
+    else:
+        raise ValueError("unknown trace format %r (use .csv or .jsonl)"
+                         % path.suffix)
+    return events
+
+
+# -- request mixes ----------------------------------------------------------
+
+class RequestMix:
+    """Per-object popularity weights with a read/write kind mix.
+
+    Replaces the single-object request pool: each draw picks an object
+    index (Zipf(``alpha``) by default, or explicit ``weights``) and a
+    kind ("write" with that object's ``write_fraction`` probability).
+    Stateless per draw — determinism comes from the caller's RNG, so a
+    mix can be shared between scenarios without coupling their draws.
+    """
+
+    def __init__(self, object_count: int, alpha: float = 1.0,
+                 weights: Optional[Sequence[float]] = None,
+                 write_fraction: Union[float, Sequence[float]] = 0.0):
+        self.object_count = object_count
+        self._popularity = ZipfSampler(
+            object_count, alpha,
+            weights=list(weights) if weights is not None else None)
+        if isinstance(write_fraction, (int, float)):
+            write_fraction = [float(write_fraction)] * object_count
+        elif len(write_fraction) != object_count:
+            raise ValueError("write_fraction must cover every object")
+        if any(not 0.0 <= f <= 1.0 for f in write_fraction):
+            raise ValueError("write fractions must be in [0, 1]")
+        self.write_fraction = list(write_fraction)
+
+    def probability(self, rank: int) -> float:
+        return self._popularity.probability(rank)
+
+    def draw(self, rng: random.Random) -> Tuple[int, str]:
+        """One (object index, kind) draw from the caller's RNG."""
+        rank = self._popularity.sample(rng)
+        kind = ("write" if rng.random() < self.write_fraction[rank]
+                else "read")
+        return rank, kind
+
+
+# -- the scenario abstraction -----------------------------------------------
+
+class Scenario:
+    """A declarative description of one load pattern.
+
+    Subclasses implement :meth:`build`, returning the generator
+    processes that jointly drive the load; :meth:`drive` is the
+    engine: it spawns them, waits for all of them (and their
+    in-flight requests), and returns the elapsed simulated seconds.
+    """
+
+    label = "scenario"
+
+    def build(self, sim: Simulator, request: RequestFn,
+              rng: random.Random, stats: LoadStats) -> List[Generator]:
+        raise NotImplementedError
+
+    def drive(self, sim: Simulator, request: RequestFn,
+              rng: Optional[random.Random] = None,
+              stats: Optional[LoadStats] = None
+              ) -> Generator[Any, Any, float]:
+        """The driver process: ``elapsed = yield from sc.drive(...)``,
+        or spawn it via ``sim.process(sc.drive(...))``."""
+        rng = rng if rng is not None else random.Random(0)
+        stats = stats if stats is not None else LoadStats()
+        start = sim.now
+        processes = [sim.process(driver)
+                     for driver in self.build(sim, request, rng, stats)]
+        for process in processes:
+            yield process
+        return sim.now - start
+
+    @staticmethod
+    def _fork(rng: random.Random) -> random.Random:
+        """An independent child RNG: concurrent sub-drivers must not
+        interleave draws from one stream (event order would couple
+        their randomness)."""
+        return random.Random(rng.getrandbits(64))
+
+
+class OpenLoopScenario(Scenario):
+    """Scheduled arrivals that never wait for the system.
+
+    A thin declarative wrapper over :class:`LoadGenerator`: any
+    :class:`~repro.workloads.loadgen.ArrivalSchedule` plus optional
+    site placement and a :class:`RequestMix` (or ``popularity``
+    sampler) for multi-object workloads.
+    """
+
+    def __init__(self, schedule: ArrivalSchedule, count: int,
+                 sites: Optional[Sequence[Domain]] = None,
+                 mix: Optional[RequestMix] = None,
+                 popularity: Optional[Any] = None,
+                 label: str = "open-loop"):
+        self.schedule = schedule
+        self.count = count
+        self.sites = list(sites) if sites is not None else None
+        self.mix = mix
+        self.popularity = popularity
+        self.label = label
+
+    def build(self, sim: Simulator, request: RequestFn,
+              rng: random.Random, stats: LoadStats) -> List[Generator]:
+        generator = LoadGenerator(sim, self.schedule, request, self.count,
+                                  rng=self._fork(rng), sites=self.sites,
+                                  popularity=self.popularity,
+                                  stats=stats, mix=self.mix)
+        return [generator.run()]
+
+
+class TraceScenario(Scenario):
+    """Replay a trace through the engine.
+
+    Two pacing modes:
+
+    * ``"trace"`` (default) — open-loop on the trace's own timestamps:
+      event times are relative to the start of the run and each
+      becomes an arrival at ``sim.now + time``, overlapping exactly as
+      the recorded clients did.
+    * ``"sequential"`` — closed-loop, as fast as possible: each
+      request is issued when the previous one finishes, in trace
+      order.  For A/B comparisons where queueing effects would drown
+      the per-request signal.
+
+    Arrivals carry the trace's site, object index (as
+    ``arrival.rank``) and kind.  Sites are resolved against
+    ``topology`` when one is supplied; otherwise Domains pass through
+    as-is and plain path strings are handed to the request callable
+    unresolved (site-path keyed helpers like
+    ``GdnDeployment.browser_pool`` accept both).
+    """
+
+    def __init__(self, events: Iterable[TraceEvent],
+                 topology: Optional[Topology] = None,
+                 pacing: str = "trace",
+                 label: str = "trace"):
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("trace is empty")
+        if pacing not in ("trace", "sequential"):
+            raise ValueError("pacing must be 'trace' or 'sequential'")
+        self.topology = topology
+        self.pacing = pacing
+        self.label = label
+
+    @classmethod
+    def from_stream(cls, stream: RequestStream, pacing: str = "trace",
+                    label: str = "trace") -> "TraceScenario":
+        """Replay a synthesized :class:`RequestStream` (webtrace,
+        population) — the bridge from the §3.1 generators."""
+        return cls(record_stream(stream), pacing=pacing, label=label)
+
+    @classmethod
+    def from_file(cls, path: Union[str, pathlib.Path],
+                  topology: Optional[Topology] = None) -> "TraceScenario":
+        """Replay a recorded CSV/JSONL trace file."""
+        return cls(load_trace(path), topology=topology,
+                   label="trace:%s" % pathlib.Path(path).name)
+
+    @property
+    def count(self) -> int:
+        return len(self.events)
+
+    def arrivals(self, sim: Simulator) -> List[Arrival]:
+        start = sim.now
+        arrivals = []
+        for index, event in enumerate(self.events):
+            site = event.site
+            if self.topology is not None and isinstance(site, str):
+                site = self.topology.site(site)
+            arrivals.append(Arrival(index, start + event.time, site,
+                                    event.object_index, event.kind))
+        arrivals.sort(key=lambda a: a.time)
+        return arrivals
+
+    def build(self, sim: Simulator, request: RequestFn,
+              rng: random.Random, stats: LoadStats) -> List[Generator]:
+        arrivals = self.arrivals(sim)
+        if self.pacing == "sequential":
+            return [self._sequential(sim, request, arrivals, stats)]
+        generator = LoadGenerator(sim, None, request, arrivals=arrivals,
+                                  rng=self._fork(rng), stats=stats)
+        return [generator.run()]
+
+    @staticmethod
+    def _sequential(sim: Simulator, request: RequestFn,
+                    arrivals: List[Arrival], stats: LoadStats) -> Generator:
+        for arrival in arrivals:
+            stats.issued += 1
+            yield from measured(sim, request, arrival, stats)
+
+
+class ClosedLoopScenario(Scenario):
+    """A population of think-time clients.
+
+    Each client loops ``requests_per_client`` times: think (an
+    exponential or fixed delay of mean ``think_time``), issue one
+    request, *wait for it to finish*.  A saturated system slows the
+    clients down — exactly the feedback an open loop refuses to model,
+    and the right model for sequenced interactions.  Clients are
+    placed round-robin over ``sites``; objects come from ``mix``.
+    """
+
+    def __init__(self, clients: int, think_time: float,
+                 requests_per_client: int,
+                 sites: Optional[Sequence[Domain]] = None,
+                 mix: Optional[RequestMix] = None,
+                 think: str = "exponential",
+                 label: str = "closed-loop"):
+        if clients < 1 or requests_per_client < 1:
+            raise ValueError("need at least one client and one request")
+        if think_time < 0:
+            raise ValueError("think time cannot be negative")
+        if think not in ("exponential", "fixed"):
+            raise ValueError("think must be 'exponential' or 'fixed'")
+        self.clients = clients
+        self.think_time = think_time
+        self.requests_per_client = requests_per_client
+        self.sites = list(sites) if sites is not None else None
+        self.mix = mix
+        self.think = think
+        self.label = label
+
+    @property
+    def count(self) -> int:
+        return self.clients * self.requests_per_client
+
+    def build(self, sim: Simulator, request: RequestFn,
+              rng: random.Random, stats: LoadStats) -> List[Generator]:
+        counter = [0]
+        return [self._client(client_index, sim, request, self._fork(rng),
+                             stats, counter)
+                for client_index in range(self.clients)]
+
+    def _think_delay(self, rng: random.Random) -> float:
+        if self.think_time == 0.0:
+            return 0.0
+        if self.think == "fixed":
+            return self.think_time
+        return rng.expovariate(1.0 / self.think_time)
+
+    def _client(self, client_index: int, sim: Simulator,
+                request: RequestFn, rng: random.Random, stats: LoadStats,
+                counter: List[int]) -> Generator:
+        site = (self.sites[client_index % len(self.sites)]
+                if self.sites else None)
+        for _ in range(self.requests_per_client):
+            delay = self._think_delay(rng)
+            if delay > 0:
+                yield sim.timeout(delay)
+            if self.mix is not None:
+                rank, kind = self.mix.draw(rng)
+            else:
+                rank, kind = 0, "read"
+            index = counter[0]
+            counter[0] += 1
+            arrival = Arrival(index, sim.now, site, rank, kind)
+            stats.issued += 1
+            # Closed loop: measure inline — the client *is* the waiter.
+            yield from measured(sim, request, arrival, stats)
+
+
+class HybridScenario(Scenario):
+    """Several scenarios running concurrently against one system.
+
+    The §3.1 picture in one run: a closed-loop population of regulars
+    browsing with think times *plus* an open-loop flash crowd that
+    does not care how the system is coping — all accounted in the
+    same :class:`LoadStats`.
+    """
+
+    def __init__(self, scenarios: Sequence[Scenario],
+                 label: str = "hybrid"):
+        if not scenarios:
+            raise ValueError("need at least one scenario")
+        self.scenarios = list(scenarios)
+        self.label = label
+
+    @property
+    def count(self) -> int:
+        return sum(scenario.count for scenario in self.scenarios)
+
+    def build(self, sim: Simulator, request: RequestFn,
+              rng: random.Random, stats: LoadStats) -> List[Generator]:
+        drivers: List[Generator] = []
+        for scenario in self.scenarios:
+            drivers.extend(scenario.build(sim, request, self._fork(rng),
+                                          stats))
+        return drivers
+
+
+# -- soak runs: load + faults + invariants ----------------------------------
+
+class SoakReport:
+    """Outcome of one :class:`Soak` run."""
+
+    def __init__(self, stats: LoadStats, elapsed: float,
+                 fault_log: List[tuple],
+                 failures: List[Tuple[str, str]],
+                 invariants_checked: int):
+        self.stats = stats
+        self.elapsed = elapsed
+        self.fault_log = fault_log
+        self.failures = failures
+        self.invariants_checked = invariants_checked
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> Dict[str, Any]:
+        out = dict(self.stats.summary())
+        out.update({"elapsed": self.elapsed,
+                    "faults": len(self.fault_log),
+                    "invariants": self.invariants_checked,
+                    "violations": len(self.failures)})
+        return out
+
+
+class Soak:
+    """Sustained load + fault injection + end-of-run invariants.
+
+    Wraps any :class:`Scenario` with a
+    :class:`~repro.sim.failures.FailureInjector` schedule (declare
+    faults before :meth:`run`; times are absolute simulation times)
+    and named invariant checks evaluated after the load drains and the
+    system settles.  An invariant is a callable returning ``False`` or
+    raising to signal violation; anything else passes.
+    """
+
+    def __init__(self, world: World, scenario: Scenario,
+                 request: RequestFn,
+                 rng: Optional[random.Random] = None,
+                 stats: Optional[LoadStats] = None,
+                 settle: float = 5.0):
+        self.world = world
+        self.scenario = scenario
+        self.request = request
+        self.rng = rng if rng is not None else world.rng_for("soak")
+        self.stats = stats if stats is not None else LoadStats()
+        self.settle = settle
+        self.injector = FailureInjector(world)
+        self.invariants: List[Tuple[str, Callable[[], Any]]] = []
+
+    # -- fault schedule (thin FailureInjector passthroughs) -------------
+
+    def crash_restart(self, host: Host, crash_at: float, restart_at: float,
+                      recover: Optional[Callable[[], None]] = None) -> None:
+        self.injector.crash_restart(host, crash_at, restart_at, recover)
+
+    def partition(self, domain: Domain, start: float,
+                  duration: float) -> None:
+        self.injector.partition_domain(domain, start, duration)
+
+    # -- invariants ------------------------------------------------------
+
+    def invariant(self, name: str, check: Callable[[], Any]) -> None:
+        self.invariants.append((name, check))
+
+    # -- the run ---------------------------------------------------------
+
+    def run(self, limit: float = 1e9) -> SoakReport:
+        driver = self.world.sim.process(
+            self.scenario.drive(self.world.sim, self.request,
+                                rng=self.rng, stats=self.stats))
+        elapsed = self.world.run_until(driver, limit=limit)
+        if self.settle > 0:
+            self.world.run(until=self.world.now + self.settle)
+        failures: List[Tuple[str, str]] = []
+        for name, check in self.invariants:
+            try:
+                outcome = check()
+            except Exception as exc:  # noqa: BLE001 - reported, not fatal
+                failures.append((name, "%s: %s" % (type(exc).__name__, exc)))
+            else:
+                if outcome is False:
+                    failures.append((name, "returned False"))
+        return SoakReport(self.stats, elapsed, list(self.injector.log),
+                          failures, len(self.invariants))

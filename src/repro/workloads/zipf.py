@@ -17,10 +17,16 @@ __all__ = ["ZipfSampler"]
 
 
 class ZipfSampler:
-    """Samples ranks 0..n-1 with probability ∝ 1/(rank+1)^alpha."""
+    """Samples ranks 0..n-1 with probability ∝ 1/(rank+1)^alpha.
+
+    Pass explicit ``weights`` (one non-negative number per rank, not
+    all zero) to sample an arbitrary popularity profile through the
+    same inverse-CDF machinery instead of the Zipf law.
+    """
 
     def __init__(self, n: int, alpha: float = 1.0,
-                 rng: random.Random = None):
+                 rng: random.Random = None,
+                 weights: List[float] = None):
         if n < 1:
             raise ValueError("need at least one item")
         if alpha < 0:
@@ -28,7 +34,12 @@ class ZipfSampler:
         self.n = n
         self.alpha = alpha
         self.rng = rng or random.Random()
-        weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+        if weights is None:
+            weights = [1.0 / (rank + 1) ** alpha for rank in range(n)]
+        elif len(weights) != n:
+            raise ValueError("weights must cover every rank")
+        elif any(w < 0 for w in weights) or not any(weights):
+            raise ValueError("weights must be non-negative, not all zero")
         total = sum(weights)
         self._cdf: List[float] = []
         acc = 0.0
@@ -43,9 +54,13 @@ class ZipfSampler:
             return self._cdf[0]
         return self._cdf[rank] - self._cdf[rank - 1]
 
-    def sample(self) -> int:
-        """One rank draw (0 is the most popular)."""
-        return bisect.bisect_left(self._cdf, self.rng.random())
+    def sample(self, rng: random.Random = None) -> int:
+        """One rank draw (0 is the most popular).
+
+        ``rng`` overrides the sampler's own stream for callers that
+        own the randomness (e.g. a shared
+        :class:`~repro.workloads.scenario.RequestMix`)."""
+        return bisect.bisect_left(self._cdf, (rng or self.rng).random())
 
     def sample_many(self, count: int) -> List[int]:
         return [self.sample() for _ in range(count)]

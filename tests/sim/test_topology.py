@@ -91,3 +91,26 @@ def test_disjoint_topologies_share_no_ancestor():
     b = Topology().add_region("eu")
     with pytest.raises(TopologyError):
         Topology.lca(a, b)
+
+
+def test_region_of_full_hierarchy():
+    topo = Topology.balanced(2, 2, 2, 2)
+    site = topo.site("r1/c0/m1/s0")
+    region = site.region()
+    assert region.level == Level.REGION
+    assert region.path == "r1"
+    # Any ancestor resolves to the same region.
+    assert site.parent.region() is region
+    assert region.region() is region
+
+
+def test_region_of_shallow_domains():
+    # Regression: hand-built domains without the full five-level chain
+    # used to make callers IndexError on ancestors()[3].
+    lonely = Domain("lonely", Level.SITE)
+    assert lonely.region() is lonely
+
+    city = Domain("metropolis", Level.CITY)
+    site = Domain("campus", Level.SITE, city)
+    # Topmost ancestor below the (parentless) root stands in.
+    assert site.region() is site

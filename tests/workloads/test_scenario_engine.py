@@ -1,0 +1,381 @@
+"""Tests for the unified scenario engine (trace replay, mixes,
+closed-loop populations, hybrids, soak runs)."""
+
+import random
+
+import pytest
+
+from repro.sim.kernel import Simulator
+from repro.sim.rpc import UdpRpcServer, UdpRpcClient
+from repro.sim.topology import Topology
+from repro.sim.world import World
+from repro.workloads.loadgen import (BurstSchedule, LoadStats,
+                                     PoissonSchedule, UniformSchedule)
+from repro.workloads.population import ClientPopulation
+from repro.workloads.scenario import (ClosedLoopScenario, HybridScenario,
+                                      OpenLoopScenario, RequestMix, Soak,
+                                      TraceEvent, TraceScenario, load_trace,
+                                      record_stream, save_trace)
+
+
+def _drive(sim, scenario, request, seed=1, stats=None):
+    stats = stats if stats is not None else LoadStats()
+    elapsed = sim.run_until_complete(
+        sim.process(scenario.drive(sim, request, rng=random.Random(seed),
+                                   stats=stats)), 1e9)
+    return stats, elapsed
+
+
+# -- trace format -----------------------------------------------------------
+
+@pytest.mark.parametrize("suffix", [".csv", ".jsonl"])
+def test_trace_file_roundtrip(tmp_path, suffix):
+    events = [TraceEvent(0.25 * i, "write" if i % 4 == 0 else "read",
+                         i % 3, "r0/c0/m0/s%d" % (i % 2))
+              for i in range(12)]
+    path = tmp_path / ("trace%s" % suffix)
+    save_trace(path, events)
+    back = load_trace(path)
+    assert [(e.time, e.kind, e.object_index, e.site_path) for e in back] \
+        == [(e.time, e.kind, e.object_index, e.site_path) for e in events]
+
+
+def test_trace_format_validation(tmp_path):
+    with pytest.raises(ValueError):
+        save_trace(tmp_path / "trace.xml", [])
+    with pytest.raises(ValueError):
+        load_trace(tmp_path / "trace.xml")
+    with pytest.raises(ValueError):
+        TraceScenario([])
+
+
+def test_record_stream_adapts_population():
+    topology = Topology.balanced(2, 1, 1, 2)
+    population = ClientPopulation(topology, 5, random.Random(3),
+                                  write_fraction=[0.5] * 5)
+    stream = population.generate(40)
+    events = record_stream(stream)
+    assert len(events) == 40
+    assert all(e.kind in ("read", "write") for e in events)
+    assert any(e.kind == "write" for e in events)
+    # Sites survive as Domains straight from the stream.
+    assert events[0].site_path == stream.requests[0].site.path
+
+
+# -- trace replay -----------------------------------------------------------
+
+def test_trace_replay_determinism_from_file(tmp_path):
+    """Same seed + same trace file => identical LoadStats."""
+    topology = Topology.balanced(2, 2, 1, 2)
+    population = ClientPopulation(topology, 8, random.Random(11),
+                                  write_fraction=[0.2] * 8)
+    path = tmp_path / "trace.jsonl"
+    save_trace(path, record_stream(population.generate(60)))
+
+    def one_run():
+        sim = Simulator()
+        rng = random.Random(99)
+
+        def request(arrival):
+            # Service time depends on the run's RNG and the arrival, so
+            # any divergence in replay order or draws shows up in stats.
+            yield sim.timeout(rng.uniform(0.01, 0.05) * (arrival.rank + 1))
+            return arrival.kind == "read" or arrival.rank % 2 == 0
+
+        scenario = TraceScenario.from_file(path, topology=topology)
+        stats, elapsed = _drive(sim, scenario, request, seed=7)
+        return (stats.issued, stats.ok, stats.failed,
+                tuple(stats.latency.samples), elapsed)
+
+    assert one_run() == one_run()
+
+
+def test_trace_replay_respects_timestamps():
+    sim = Simulator()
+    events = [TraceEvent(1.0, "read", 0), TraceEvent(3.0, "read", 1)]
+    issued_at = []
+
+    def request(arrival):
+        issued_at.append((arrival.rank, sim.now))
+        yield sim.timeout(0.1)
+
+    _drive(sim, TraceScenario(events), request)
+    assert issued_at == [(0, 1.0), (1, 3.0)]
+
+
+def test_trace_scenario_site_resolution():
+    topology = Topology.balanced(1, 1, 1, 2)
+    events = [TraceEvent(0.0, "read", 0, "r0/c0/m0/s1")]
+    sim = Simulator()
+    resolved = TraceScenario(events, topology=topology).arrivals(sim)
+    assert resolved[0].site is topology.site("r0/c0/m0/s1")
+    unresolved = TraceScenario(events).arrivals(sim)
+    assert unresolved[0].site == "r0/c0/m0/s1"
+
+
+def test_sequential_pacing_never_overlaps():
+    sim = Simulator()
+    events = [TraceEvent(0.0, "read", i) for i in range(5)]
+    active = []
+    peak = []
+
+    def request(arrival):
+        active.append(arrival.rank)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.remove(arrival.rank)
+
+    stats, elapsed = _drive(
+        sim, TraceScenario(events, pacing="sequential"), request)
+    assert max(peak) == 1  # closed: one request at a time
+    assert stats.ok == 5
+    assert elapsed == pytest.approx(5.0)
+    with pytest.raises(ValueError):
+        TraceScenario(events, pacing="warp")
+
+
+# -- request mixes ----------------------------------------------------------
+
+def test_request_mix_draws_objects_and_kinds():
+    mix = RequestMix(10, alpha=1.0,
+                     write_fraction=[0.5] * 5 + [0.0] * 5)
+    rng = random.Random(5)
+    draws = [mix.draw(rng) for _ in range(2000)]
+    ranks = [rank for rank, _ in draws]
+    assert min(ranks) == 0 and max(ranks) < 10
+    # Zipf head dominates.
+    assert sum(1 for rank in ranks if rank < 3) > len(ranks) * 0.5
+    # Writes only on objects that allow them.
+    assert all(kind == "read" for rank, kind in draws if rank >= 5)
+    writable = [kind for rank, kind in draws if rank < 5]
+    assert 0.3 < sum(1 for k in writable if k == "write") / len(writable) \
+        < 0.7
+
+
+def test_request_mix_explicit_weights_and_validation():
+    mix = RequestMix(3, weights=[0.0, 1.0, 0.0])
+    rng = random.Random(1)
+    assert {mix.draw(rng)[0] for _ in range(50)} == {1}
+    assert mix.probability(1) == pytest.approx(1.0)
+    with pytest.raises(ValueError):
+        RequestMix(0)
+    with pytest.raises(ValueError):
+        RequestMix(3, weights=[1.0, 2.0])
+    with pytest.raises(ValueError):
+        RequestMix(2, weights=[0.0, 0.0])
+    with pytest.raises(ValueError):
+        RequestMix(2, write_fraction=[0.5])
+    with pytest.raises(ValueError):
+        RequestMix(2, write_fraction=1.5)
+
+
+def test_open_loop_scenario_with_mix_sets_kinds():
+    sim = Simulator()
+    mix = RequestMix(4, alpha=0.0, write_fraction=0.5)
+    seen = []
+
+    def request(arrival):
+        seen.append((arrival.rank, arrival.kind))
+        yield sim.timeout(0.001)
+
+    scenario = OpenLoopScenario(PoissonSchedule(200.0), 200, mix=mix)
+    stats, _elapsed = _drive(sim, scenario, request)
+    assert stats.ok == 200
+    kinds = {kind for _rank, kind in seen}
+    assert kinds == {"read", "write"}
+    assert len({rank for rank, _ in seen}) == 4
+
+
+# -- closed-loop populations -------------------------------------------------
+
+def test_closed_loop_thinks_before_every_request():
+    """No request may be issued before its think time has elapsed."""
+    sim = Simulator()
+    topology = Topology.balanced(1, 1, 1, 2)
+    think = 0.5
+    service = 0.2
+    issues = {}  # site path -> issue times
+
+    def request(arrival):
+        issues.setdefault(arrival.site.path, []).append(sim.now)
+        yield sim.timeout(service)
+
+    scenario = ClosedLoopScenario(clients=2, think_time=think,
+                                  requests_per_client=4,
+                                  sites=topology.sites, think="fixed")
+    stats, _elapsed = _drive(sim, scenario, request)
+    assert stats.ok == 8
+    assert len(issues) == 2  # each client at its own site
+    for times in issues.values():
+        assert times[0] >= think  # thought before the first request too
+        for earlier, later in zip(times, times[1:]):
+            # think time + the client's own completed request
+            assert later - earlier >= think + service
+
+
+def test_closed_loop_waits_for_own_request():
+    sim = Simulator()
+    active = []
+    peak = []
+
+    def request(arrival):
+        active.append(arrival.index)
+        peak.append(len(active))
+        yield sim.timeout(1.0)
+        active.remove(arrival.index)
+
+    scenario = ClosedLoopScenario(clients=3, think_time=0.0,
+                                  requests_per_client=4)
+    stats, elapsed = _drive(sim, scenario, request)
+    assert stats.ok == 12
+    assert max(peak) <= 3  # concurrency bounded by the population
+    assert elapsed == pytest.approx(4.0)  # 4 sequential rounds per client
+
+
+def test_closed_loop_validation():
+    with pytest.raises(ValueError):
+        ClosedLoopScenario(0, 1.0, 1)
+    with pytest.raises(ValueError):
+        ClosedLoopScenario(1, -1.0, 1)
+    with pytest.raises(ValueError):
+        ClosedLoopScenario(1, 1.0, 0)
+    with pytest.raises(ValueError):
+        ClosedLoopScenario(1, 1.0, 1, think="gaussian")
+
+
+def test_closed_loop_accounts_failures():
+    sim = Simulator()
+
+    def request(arrival):
+        yield sim.timeout(0.01)
+        if arrival.index % 3 == 1:
+            return False
+        if arrival.index % 3 == 2:
+            raise RuntimeError("boom")
+        return True
+
+    scenario = ClosedLoopScenario(clients=1, think_time=0.0,
+                                  requests_per_client=9)
+    stats, _elapsed = _drive(sim, scenario, request)
+    assert stats.ok == 3 and stats.failed == 6
+    assert stats.errors == {"RuntimeError": 3}
+
+
+# -- hybrids and schedules ---------------------------------------------------
+
+def test_burst_schedule_is_simultaneous():
+    times = list(BurstSchedule().times(5, 3.0, random.Random(1)))
+    assert times == [3.0] * 5
+
+
+def test_hybrid_runs_everything_into_shared_stats():
+    sim = Simulator()
+    by_label = {"open": 0, "closed": 0}
+
+    def request(arrival):
+        # Open-loop arrivals carry rank from the mix (all rank 1 via
+        # weights); closed-loop ones are rank 0.
+        by_label["open" if arrival.rank == 1 else "closed"] += 1
+        yield sim.timeout(0.01)
+
+    scenario = HybridScenario([
+        OpenLoopScenario(UniformSchedule(100.0), 20,
+                         mix=RequestMix(2, weights=[0.0, 1.0])),
+        ClosedLoopScenario(clients=2, think_time=0.05,
+                           requests_per_client=5),
+    ])
+    stats, _elapsed = _drive(sim, scenario, request)
+    assert scenario.count == 30
+    assert stats.ok == 30
+    assert by_label == {"open": 20, "closed": 10}
+    with pytest.raises(ValueError):
+        HybridScenario([])
+
+
+def test_scenario_determinism_same_seed():
+    def one_run(seed):
+        sim = Simulator()
+
+        def request(arrival):
+            yield sim.timeout(0.001 * (arrival.rank + 1))
+
+        scenario = HybridScenario([
+            OpenLoopScenario(PoissonSchedule(50.0), 30,
+                             mix=RequestMix(5, write_fraction=0.2)),
+            ClosedLoopScenario(clients=3, think_time=0.1,
+                               requests_per_client=5,
+                               mix=RequestMix(5)),
+        ])
+        stats, elapsed = _drive(sim, scenario, request, seed=seed)
+        return tuple(stats.latency.samples), elapsed
+
+    assert one_run(4) == one_run(4)
+    assert one_run(4) != one_run(5)
+
+
+# -- soak runs ---------------------------------------------------------------
+
+def _echo_world():
+    world = World(topology=Topology.balanced(1, 1, 1, 2), seed=21)
+    client_host = world.host("client", "r0/c0/m0/s0")
+    server_host = world.host("server", "r0/c0/m0/s1")
+    server = UdpRpcServer(server_host, 5300)
+    server.register("echo", lambda ctx, args: args["x"])
+    server.start()
+    return world, client_host, server_host, server
+
+
+def test_soak_injects_faults_and_checks_invariants():
+    world, client_host, server_host, server = _echo_world()
+    client = UdpRpcClient(client_host)
+
+    def request(arrival):
+        value = yield from client.call(server_host, 5300, "echo",
+                                       {"x": arrival.index})
+        return value == arrival.index
+
+    stats = LoadStats()
+    scenario = OpenLoopScenario(UniformSchedule(10.0), 60)
+    soak = Soak(world, scenario, request, stats=stats, settle=1.0)
+    base = world.now
+    # The outage outlasts the client's whole retry budget (4 attempts
+    # x 0.5s), so early-outage calls genuinely fail while late ones
+    # are saved by a retry landing after the restart.
+    soak.crash_restart(server_host, crash_at=base + 2.0,
+                       restart_at=base + 4.5, recover=server.start)
+    soak.invariant("all accounted",
+                   lambda: stats.finished == 60)
+    soak.invariant("some failed during the outage",
+                   lambda: stats.failed > 0)
+    soak.invariant("mostly fine", lambda: stats.ok >= 40)
+    report = soak.run()
+    assert report.ok, report.failures
+    assert [(kind, target) for _w, kind, target in report.fault_log] \
+        == [("crash", "server"), ("restart", "server")]
+    assert report.invariants_checked == 3
+    summary = report.summary()
+    assert summary["violations"] == 0 and summary["faults"] == 2
+
+
+def test_soak_reports_violated_invariants():
+    world, client_host, server_host, _server = _echo_world()
+    client = UdpRpcClient(client_host)
+
+    def request(arrival):
+        yield from client.call(server_host, 5300, "echo", {"x": 1})
+        return True
+
+    soak = Soak(world, OpenLoopScenario(UniformSchedule(50.0), 10),
+                request, settle=0.0)
+    soak.invariant("passes", lambda: True)
+    soak.invariant("returns false", lambda: False)
+
+    def raises():
+        raise AssertionError("broken state")
+
+    soak.invariant("raises", raises)
+    report = soak.run()
+    assert not report.ok
+    assert [name for name, _why in report.failures] \
+        == ["returns false", "raises"]
+    assert "broken state" in dict(report.failures)["raises"]

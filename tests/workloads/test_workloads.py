@@ -147,3 +147,19 @@ def test_web_trace_deterministic(topology):
     assert [d.size for d in docs_a] == [d.size for d in docs_b]
     assert [(r.time, r.kind, r.object_index) for r in stream_a] == \
         [(r.time, r.kind, r.object_index) for r in stream_b]
+
+
+def test_request_region_derived_defensively():
+    # Regression: Request.region hard-indexed ancestors()[3], which
+    # raised IndexError for sites on shallower-than-5-level
+    # hierarchies.  It must use the defensive region lookup instead.
+    from repro.sim.topology import Domain, Level
+    from repro.workloads.population import Request
+
+    full = Topology.balanced(2, 1, 1, 2).site("r1/c0/m0/s1")
+    assert Request(0.0, "read", full, 0).region == "r1"
+
+    city = Domain("metropolis", Level.CITY)
+    shallow = Domain("campus", Level.SITE, city)
+    request = Request(1.0, "read", shallow, 0)  # must not raise
+    assert request.region == shallow.region().path
