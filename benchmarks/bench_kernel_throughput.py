@@ -12,6 +12,12 @@ via ``conftest.save_json`` so successive PRs can be compared:
 The echo benchmark also asserts the cancellation invariant: a
 successful call must leave *no* timer behind, so the heap stays small
 no matter how many requests a run pushes through.
+
+Metrics are sourced from the telemetry registry (the same
+function-backed instruments every experiment reads), and the records
+carry streaming-histogram summaries of per-request simulated latency
+— extra keys are ignored by ``check_trajectory.py``, which gates only
+the ``*_per_sec`` rates.
 """
 
 import os
@@ -19,6 +25,7 @@ import time
 
 from conftest import save_json
 
+from repro.analysis.telemetry import MetricsRegistry
 from repro.sim.kernel import Simulator
 from repro.sim.rpc import UdpRpcClient, UdpRpcServer
 from repro.sim.topology import Topology
@@ -103,6 +110,8 @@ def test_timer_cancellation_churn(benchmark):
 
     def measure():
         sim = Simulator()
+        registry = MetricsRegistry()
+        sim.bind_metrics(registry)
 
         def churn():
             for _ in range(CHURN_TIMERS):
@@ -114,8 +123,11 @@ def test_timer_cancellation_churn(benchmark):
         started = time.perf_counter()
         sim.run()
         wall = time.perf_counter() - started
+        cancelled = registry.get("kernel.timers_cancelled").value
         return ({"events_per_sec": sim.events_processed / wall,
                  "peak_heap_size": sim.peak_heap_size,
+                 "timers_cancelled": cancelled,
+                 "cancellations_per_sec": cancelled / wall,
                  "stale_after_run": sim.stale_timer_count},
                 sim.peak_heap_size)
 
@@ -133,16 +145,22 @@ def test_udp_rpc_echo_throughput(benchmark):
 
     def measure():
         world = World(topology=Topology.balanced(1, 1, 1, 2), seed=9)
+        registry = world.metrics
+        latency = registry.histogram("echo.sim_latency")
         a = world.host("client", "r0/c0/m0/s0")
         b = world.host("node", "r0/c0/m0/s1")
         server = UdpRpcServer(b, 5300)
         server.register("echo", lambda ctx, args: args["x"])
         server.start()
         client = UdpRpcClient(a)
+        client.bind_metrics(registry, "echo.client")
 
         def caller():
+            sim = world.sim
             for index in range(ECHO_CALLS):
+                begun = sim.now
                 value = yield from client.call(b, 5300, "echo", {"x": index})
+                latency.record(sim.now - begun)
                 assert value == index
 
         proc = a.spawn(caller())
@@ -150,11 +168,20 @@ def test_udp_rpc_echo_throughput(benchmark):
         world.run_until(proc, limit=1e9)
         wall = time.perf_counter() - started
         sim = world.sim
+        assert registry.get("echo.client.calls").value == ECHO_CALLS
+        assert registry.get("echo.client.retries").value == 0
         return ({"requests_per_sec": ECHO_CALLS / wall,
-                 "events_per_sec": sim.events_processed / wall,
+                 "events_per_sec":
+                     registry.get("kernel.events_processed").value / wall,
                  "peak_heap_size": sim.peak_heap_size,
                  "heap_after_run": sim.heap_size,
-                 "stale_after_run": sim.stale_timer_count},
+                 "stale_after_run": sim.stale_timer_count,
+                 # Simulated per-request latency from the streaming
+                 # histogram (sanity trail: the sim cost model must not
+                 # drift silently between PRs).
+                 "sim_latency_p50_ms": latency.p(50) * 1e3,
+                 "sim_latency_p95_ms": latency.p(95) * 1e3,
+                 "sim_latency_mean_ms": latency.mean * 1e3},
                 sim.peak_heap_size)
 
     metrics, peak = _best_of(benchmark, measure, "requests_per_sec")

@@ -17,7 +17,12 @@ schedule, then audits the wreckage:
 * **invariants** checked after the load drains and the system
   settles: every request accounted, a healthy success fraction,
   master/slave replicas converged, the crashed server back up and
-  serving, and traffic metering consistent.
+  serving, and traffic metering consistent;
+* **per-phase telemetry**: the run is sliced into pre-fault /
+  during-fault / recovered windows on the world's MetricsRegistry, so
+  the closing table shows throughput, p50/p95 latency and error
+  counts for each phase — the "how bad was it while things were
+  broken" question the totals hide.
 
 Run:  python examples/soak.py
 (set GDN_EXAMPLE_SCALE=small for a reduced CI-sized run)
@@ -100,7 +105,9 @@ def main():
         return response.ok
 
     # -- fault schedule (absolute times, relative to now) ----------------
-    stats = LoadStats()
+    # Stats live on the world registry so the soak's phase windows see
+    # load, network and server instruments together.
+    stats = LoadStats(registry=gdn.world.metrics)
     soak = Soak(gdn.world, scenario, one_request,
                 rng=gdn.world.rng_for("soak"), stats=stats, settle=15.0)
     base = gdn.world.now
@@ -164,7 +171,8 @@ def main():
     print("mean latency %.1f ms, p95 %.1f ms, %.1fs simulated"
           % (stats.latency.mean * 1e3, stats.latency.p(95) * 1e3,
              report.elapsed))
-    print("invariants: %d checked, %d violated"
+    print("\n%s" % report.phase_table())
+    print("\ninvariants: %d checked, %d violated"
           % (report.invariants_checked, len(report.failures)))
     for name, why in report.failures:
         print("  VIOLATED %s: %s" % (name, why))

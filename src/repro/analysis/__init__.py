@@ -1,7 +1,17 @@
-"""Measurement and reporting helpers for experiments."""
+"""Measurement and reporting helpers for experiments.
+
+The telemetry model (see :mod:`.telemetry`): producers register
+instruments in one :class:`MetricsRegistry` per world, histograms
+stream log-bucketed samples in O(1), and phase windows slice any run
+into before/during/after deltas.
+"""
 
 from .metrics import Series, TrafficDelta, percentile
-from .tables import Table, format_bytes, format_seconds
+from .tables import Table, format_bytes, format_rate, format_seconds
+from .telemetry import (Counter, Gauge, Histogram, MetricsRegistry,
+                        PhaseWindow, TelemetryError)
 
 __all__ = ["Series", "TrafficDelta", "percentile", "Table",
-           "format_bytes", "format_seconds"]
+           "format_bytes", "format_rate", "format_seconds",
+           "Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "PhaseWindow", "TelemetryError"]

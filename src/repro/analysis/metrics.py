@@ -1,12 +1,21 @@
-"""Measurement helpers shared by experiments and benchmarks."""
+"""Measurement helpers shared by experiments and benchmarks.
+
+:func:`percentile` and :class:`Series` are the *exact*, keep-every-
+sample tools for small experiment series (a handful of points per
+table row).  High-volume load paths use the O(1) streaming
+:class:`~repro.analysis.telemetry.Histogram` instead; tests use
+``percentile`` as the ground truth histograms are checked against.
+
+This module deliberately imports nothing from :mod:`repro.sim` at
+module scope: the sim layer binds itself to
+:class:`~repro.analysis.telemetry.MetricsRegistry`, so the analysis
+package must be importable first.
+"""
 
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional
-
-from ..sim.network import TrafficMeter
-from ..sim.topology import Level
+from typing import Dict, Iterable, List
 
 __all__ = ["Series", "TrafficDelta", "percentile"]
 
@@ -76,29 +85,39 @@ class Series:
 
 
 class TrafficDelta:
-    """Traffic accounted between two points in simulated time."""
+    """Traffic accounted between two points in simulated time.
 
-    def __init__(self, meter: TrafficMeter):
+    A thin convenience over a
+    :class:`~repro.sim.network.TrafficMeter`'s level-keyed ledgers;
+    for phase-scoped traffic use the meter's registry counters through
+    :meth:`TrafficMeter.wide_area_delta` instead.
+    """
+
+    def __init__(self, meter):
         self.meter = meter
-        self._start_bytes: Dict[Level, int] = {}
-        self._start_messages: Dict[Level, int] = {}
+        self._start_bytes: Dict = {}
+        self._start_messages: Dict = {}
         self.restart()
 
     def restart(self) -> None:
         self._start_bytes = dict(self.meter.bytes_by_level)
         self._start_messages = dict(self.meter.messages_by_level)
 
-    def bytes_by_level(self) -> Dict[Level, int]:
+    def bytes_by_level(self) -> Dict:
         return {level: self.meter.bytes_by_level[level]
-                - self._start_bytes[level] for level in Level}
+                - self._start_bytes[level] for level in self._start_bytes}
 
     def total_bytes(self) -> int:
         return sum(self.bytes_by_level().values())
 
-    def wide_area_bytes(self, min_level: Level = Level.REGION) -> int:
+    def wide_area_bytes(self, min_level=None) -> int:
+        if min_level is None:
+            from ..sim.topology import Level
+            min_level = Level.REGION
         return sum(count for level, count in self.bytes_by_level().items()
                    if level >= min_level)
 
     def messages(self) -> int:
         return sum(self.meter.messages_by_level[level]
-                   - self._start_messages[level] for level in Level)
+                   - self._start_messages[level]
+                   for level in self._start_messages)

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-__all__ = ["Table", "format_bytes", "format_seconds"]
+__all__ = ["Table", "format_bytes", "format_rate", "format_seconds"]
 
 
 def format_bytes(count: float) -> str:
@@ -30,6 +30,13 @@ def format_seconds(seconds: float) -> str:
     if seconds < 1.0:
         return "%.1f ms" % (seconds * 1e3)
     return "%.2f s" % seconds
+
+
+def format_rate(per_second: float) -> str:
+    """Human-readable request rate (phase-table throughput column)."""
+    if per_second >= 100.0:
+        return "%.0f/s" % per_second
+    return "%.1f/s" % per_second
 
 
 class Table:

@@ -11,6 +11,11 @@ One object is registered at a fixed site; clients at increasing
 separation resolve it.  The series reports hops (directory-node
 messages) and simulated latency per separation level — the figure's
 x-axis is exactly the domain-hierarchy distance.
+
+Telemetry: one shared ``LoadStats`` on ``world.metrics``, with one
+registry *phase window* per separation level — each row's latency and
+request counts are the window's deltas, so the per-level breakdown
+comes from the same instruments every other experiment uses.
 """
 
 from __future__ import annotations
@@ -55,6 +60,9 @@ def run_gls_locality_experiment(seed: int = 11,
 
     oid_hex = world.run_until(replica_host.spawn(register()), limit=1e6)
 
+    # One stats bundle for the whole experiment; each separation level
+    # gets its own phase window, and the rows are the window deltas.
+    stats = LoadStats(registry=world.metrics, prefix="e2")
     rows: List[dict] = []
     for level, site in _CLIENT_SITES:
         client_host = world.host("client-%s" % level.name.lower(), site)
@@ -73,14 +81,18 @@ def run_gls_locality_experiment(seed: int = 11,
         scenario = ClosedLoopScenario(clients=1, think_time=0.0,
                                       requests_per_client=lookups_per_point,
                                       label="gls-%s" % level.name.lower())
-        stats = LoadStats()
+        window = world.metrics.phase(level.name, now=world.now)
         world.run_until(world.sim.process(scenario.drive(
             world.sim, lookup, rng=world.rng_for("e2-" + level.name),
             stats=stats)), limit=1e7)
-        assert stats.ok == lookups_per_point
+        window.close(now=world.now)
+        point = stats.phase_summary(window)
+        assert point["ok"] == lookups_per_point
         rows.append({"separation": level.name, "hops": last["hops"],
-                     "latency": stats.latency.mean,
+                     "latency": point["mean"],
                      "found_at": last["found"] or "<root>"})
+    world.metrics.end_phase(now=world.now)
+    assert stats.ok == lookups_per_point * len(_CLIENT_SITES)
     return {"rows": rows, "oid": oid_hex}
 
 

@@ -18,6 +18,11 @@ wide-area bytes, mean and p95 download latency.  Expected shape: WWW
 minimises setup traffic but pays latency and serving WAN bytes; the
 mirror minimises latency but pays for replicating the unpopular tail;
 the GDN approaches mirror latency at a fraction of the setup traffic.
+
+Telemetry: each system's world carries one registry; the setup and
+serving stages are *phase windows* over the network meter's per-level
+byte counters (``meter.wide_area_delta(window)``), and download
+latency is the stats bundle's streaming histogram.
 """
 
 from __future__ import annotations
@@ -25,7 +30,6 @@ from __future__ import annotations
 import random
 from typing import Dict, List
 
-from ..analysis.metrics import TrafficDelta
 from ..analysis.tables import Table, format_bytes, format_seconds
 from ..baselines.mirror import MirrorNetwork
 from ..baselines.www import WwwClient, WwwServer
@@ -77,7 +81,7 @@ def _replay(world, stream: RequestStream, one_request, label: str,
     """Replay ``stream`` through the scenario engine; sequential
     pacing so every system serves the identical back-to-back trace
     (queueing effects would drown the per-request comparison)."""
-    stats = LoadStats()
+    stats = LoadStats(registry=world.metrics, prefix="e3-" + label)
     scenario = TraceScenario.from_stream(stream, pacing="sequential",
                                          label=label)
     world.run_until(world.sim.process(scenario.drive(
@@ -94,16 +98,18 @@ def _run_www(corpus: List[PackageSpec], stream: RequestStream,
     from ..sim.world import World
 
     world = World(topology=_topology(), seed=seed)
+    meter = world.network.meter
     origin = world.host("www-origin", "r0/c0/m0/s0")
     server = WwwServer(world, origin)
-    setup = TrafficDelta(world.network.meter)
+    setup = world.metrics.window("setup", now=world.now)
     for spec in corpus:
         for path, data in spec.materialize().items():
             server.publish("%s/%s" % (spec.name, path), data)
     server.start()
-    setup_bytes = setup.wide_area_bytes()  # zero: no distribution
+    setup.close(now=world.now)
+    setup_bytes = meter.wide_area_delta(setup)  # zero: no distribution
 
-    serving = TrafficDelta(world.network.meter)
+    serving = world.metrics.window("serving", now=world.now)
     clients = _SiteClients(world, "user")
     www_clients = {}
 
@@ -120,7 +126,7 @@ def _run_www(corpus: List[PackageSpec], stream: RequestStream,
 
     stats = _replay(world, stream, one_request, "www", "e3-www")
     return {"system": "WWW single origin", "setup_wan": setup_bytes,
-            "serving_wan": serving.wide_area_bytes(),
+            "serving_wan": meter.wide_area_delta(serving.close(world.now)),
             "latency": stats.latency}
 
 
@@ -129,6 +135,7 @@ def _run_mirror(corpus: List[PackageSpec], stream: RequestStream,
     from ..sim.world import World
 
     world = World(topology=_topology(), seed=seed)
+    meter = world.network.meter
     origin_host = world.host("ftp-origin", "r0/c0/m0/s0")
     network = MirrorNetwork(world, origin_host, sync_period=1e9)
     for region in world.topology.world.children.values():
@@ -136,14 +143,14 @@ def _run_mirror(corpus: List[PackageSpec], stream: RequestStream,
             continue
         network.add_mirror(world.host("ftp-mirror-%s" % region.name,
                                       next(region.sites())))
-    setup = TrafficDelta(world.network.meter)
+    setup = world.metrics.window("setup", now=world.now)
     for spec in corpus:
         for path, data in spec.materialize().items():
             network.publish("%s/%s" % (spec.name, path), data)
     world.run_until(world.sim.process(network.sync_all()), limit=1e9)
-    setup_bytes = setup.wide_area_bytes()
+    setup_bytes = meter.wide_area_delta(setup.close(world.now))
 
-    serving = TrafficDelta(world.network.meter)
+    serving = world.metrics.window("serving", now=world.now)
     clients = _SiteClients(world, "user")
 
     def one_request(arrival):
@@ -155,7 +162,7 @@ def _run_mirror(corpus: List[PackageSpec], stream: RequestStream,
 
     stats = _replay(world, stream, one_request, "mirror", "e3-mirror")
     return {"system": "FTP full mirroring", "setup_wan": setup_bytes,
-            "serving_wan": serving.wide_area_bytes(),
+            "serving_wan": meter.wide_area_delta(serving.close(world.now)),
             "latency": stats.latency}
 
 
@@ -169,7 +176,8 @@ def _run_gdn(corpus: List[PackageSpec], stream: RequestStream,
                               popularity_threshold=max(
                                   10, len(stream) // (4 * len(corpus))))
     ttl_by_name = {}
-    setup = TrafficDelta(gdn.world.network.meter)
+    meter = gdn.world.network.meter
+    setup = gdn.world.metrics.window("setup", now=gdn.world.now)
 
     def publish():
         for index, spec in enumerate(corpus):
@@ -186,9 +194,9 @@ def _run_gdn(corpus: List[PackageSpec], stream: RequestStream,
     gdn.settle(10.0)
     for httpd in gdn.httpds:
         httpd.cache_policy = lambda name: ttl_by_name.get(name, 60.0)
-    setup_bytes = setup.wide_area_bytes()
+    setup_bytes = meter.wide_area_delta(setup.close(gdn.world.now))
 
-    serving = TrafficDelta(gdn.world.network.meter)
+    serving = gdn.world.metrics.window("serving", now=gdn.world.now)
     browser_for = gdn.browser_pool("browser")
 
     def one_request(arrival):
@@ -201,7 +209,8 @@ def _run_gdn(corpus: List[PackageSpec], stream: RequestStream,
     browser_for.close()
     return {"system": "GDN (per-object scenarios)",
             "setup_wan": setup_bytes,
-            "serving_wan": serving.wide_area_bytes(),
+            "serving_wan": meter.wide_area_delta(
+                serving.close(gdn.world.now)),
             "latency": stats.latency}
 
 

@@ -93,20 +93,27 @@ def run_gns_resolution_experiment(seed: int = 29, name_count: int = 40,
         yield from gns.resolve("/apps/pkg%03d" % arrival.index)
 
     # One user resolving every name twice: first pass cold, second
-    # pass entirely out of the resolver cache.
+    # pass entirely out of the resolver cache.  One shared stats
+    # bundle on the deployment registry; each pass is a phase window
+    # and its latency histogram is the window's delta.
+    stats = LoadStats(registry=gdn.metrics, prefix="e7")
+
     def resolve_pass(label):
         scenario = ClosedLoopScenario(clients=1, think_time=0.0,
                                       requests_per_client=name_count,
                                       label="gns-" + label)
-        stats = LoadStats()
+        window = gdn.metrics.phase(label, now=gdn.world.now)
         gdn.run(scenario.drive(gdn.world.sim, resolve,
                                rng=gdn.world.rng_for("e7-" + label),
                                stats=stats))
-        assert stats.ok == name_count
-        return stats.latency
+        window.close(now=gdn.world.now)
+        point = stats.phase_summary(window)
+        assert point["ok"] == name_count
+        return window.delta(stats.latency.name)
 
     result["cold"] = resolve_pass("cold")
     result["warm"] = resolve_pass("warm")
+    gdn.metrics.end_phase(now=gdn.world.now)
     result["queries_sent"] = gns.resolver.queries_sent
     result["cache_hits"] = gns.resolver.cache_hits
 

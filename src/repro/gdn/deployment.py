@@ -101,6 +101,12 @@ class GdnDeployment:
 
     # -- infrastructure construction -----------------------------------------
 
+    @property
+    def metrics(self):
+        """The world's :class:`MetricsRegistry` — every component added
+        through this deployment binds its instruments here."""
+        return self.world.metrics
+
     def _regions(self) -> List[Domain]:
         return list(self.world.topology.world.children.values())
 
@@ -267,6 +273,7 @@ class GdnDeployment:
             authorizer=authorizer, disk=self.disk,
             checkpoint_on_write=True)
         gos.start()
+        gos.bind_metrics(self.world.metrics, prefix="gos.%s" % name)
         self.repository.preload(host, PACKAGE_IMPL_ID)
         self.object_servers[name] = gos
         return gos
@@ -305,6 +312,8 @@ class GdnDeployment:
                          concurrency=concurrency,
                          service_time=service_time)
         httpd.start()
+        self.world.metrics.counter("httpd.%s.requests_served" % name,
+                                   fn=lambda: httpd.requests_served)
         self.httpds.append(httpd)
         return httpd
 

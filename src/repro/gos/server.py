@@ -96,11 +96,31 @@ class GlobeObjectServer:
         self.checkpoint_on_write = checkpoint_on_write
         self._checkpointer = None
         self.name = "gos-%d" % next(self._instances)
+        #: Requests served across server incarnations (survives the
+        #: restart that replaces ``self._server`` after a crash).
+        self._requests_baseline = 0
+
+    @property
+    def requests_served(self) -> int:
+        return self._requests_baseline + (
+            self._server.requests_served if self._server is not None else 0)
+
+    def bind_metrics(self, registry, prefix: Optional[str] = None) -> None:
+        """Per-server request/replica instruments in the world registry
+        (named ``gos.<host>.*`` unless a prefix is supplied)."""
+        base = prefix if prefix is not None else "gos.%s" % self.host.name
+        registry.counter(base + ".requests_served",
+                         fn=lambda: self.requests_served)
+        registry.gauge(base + ".replicas", fn=lambda: len(self.replicas))
 
     # -- lifecycle ------------------------------------------------------------
 
     def start(self) -> None:
         """Start serving (host must be up)."""
+        if self._server is not None:
+            # Crash recovery replaces the server without a stop();
+            # keep the cumulative request count monotone.
+            self._requests_baseline += self._server.requests_served
         server = RpcServer(self.host, self.port,
                            channel_factory=self.channel_factory)
         server.register("dso_message", self._handle_dso_message)
@@ -122,6 +142,7 @@ class GlobeObjectServer:
 
     def stop(self) -> None:
         if self._server is not None:
+            self._requests_baseline += self._server.requests_served
             self._server.stop()
             self._server = None
         if self._checkpointer is not None and self._checkpointer.alive:

@@ -24,6 +24,11 @@ accordingly:
 * ``Store`` and ``Resource`` keep their FIFO queues in
   :class:`collections.deque`, so serving a waiter is O(1) instead of
   the O(n) ``list.pop(0)``.
+* Telemetry is pull-only: the kernel keeps plain ``int`` counters
+  (events processed, timers scheduled/cancelled) and
+  :meth:`Simulator.bind_metrics` exposes them as function-backed
+  instruments in a :class:`~repro.analysis.telemetry.MetricsRegistry`
+  — the hot loop never touches an instrument object.
 * Timers are **cancellable**: :meth:`Timeout.cancel` withdraws a
   pending timer using lazy heap invalidation — the heap entry is
   blanked in place (O(1)) and discarded when it surfaces, and the heap
@@ -503,6 +508,8 @@ class Simulator:
         self._sequence = itertools.count()
         self._event_count = 0
         self._stale = 0
+        self._timers_scheduled = 0
+        self._timers_cancelled = 0
         self.peak_heap_size = 0
 
     # -- scheduling ---------------------------------------------------
@@ -515,6 +522,8 @@ class Simulator:
         return entry
 
     def _enqueue_abs(self, event: Event, when: float) -> list:
+        # All Timeouts come through here; plain events via _enqueue.
+        self._timers_scheduled += 1
         entry = [when, next(self._sequence), event]
         heappush(self._heap, entry)
         if len(self._heap) > self.peak_heap_size:
@@ -524,6 +533,7 @@ class Simulator:
     def _invalidate(self, entry: list) -> None:
         """Lazy removal: blank the entry; compact when mostly garbage."""
         entry[2] = None
+        self._timers_cancelled += 1
         self._stale += 1
         if self._stale * 2 >= len(self._heap):
             self._heap = [e for e in self._heap if e[2] is not None]
@@ -558,11 +568,41 @@ class Simulator:
     def resource(self, capacity: int = 1) -> Resource:
         return Resource(self, capacity)
 
+    # -- telemetry ----------------------------------------------------
+
+    def bind_metrics(self, registry, prefix: str = "kernel") -> None:
+        """Expose the kernel's plain-int counters as registry
+        instruments (function-backed: the event loop itself pays
+        nothing; the registry reads these only at snapshot time).
+        ``registry`` is a :class:`~repro.analysis.telemetry
+        .MetricsRegistry`; duck-typed so the kernel stays import-free.
+        """
+        registry.counter(prefix + ".events_processed",
+                         fn=lambda: self._event_count)
+        registry.counter(prefix + ".timers_scheduled",
+                         fn=lambda: self._timers_scheduled)
+        registry.counter(prefix + ".timers_cancelled",
+                         fn=lambda: self._timers_cancelled)
+        registry.gauge(prefix + ".heap_size", fn=lambda: self.heap_size)
+        registry.gauge(prefix + ".stale_timers", fn=lambda: self._stale)
+        registry.gauge(prefix + ".peak_heap_size",
+                       fn=lambda: self.peak_heap_size)
+
     # -- execution ----------------------------------------------------
 
     @property
     def events_processed(self) -> int:
         return self._event_count
+
+    @property
+    def timers_scheduled(self) -> int:
+        """Timeouts ever armed (the timer-churn numerator)."""
+        return self._timers_scheduled
+
+    @property
+    def timers_cancelled(self) -> int:
+        """Timeouts withdrawn before firing (guard-timer churn)."""
+        return self._timers_cancelled
 
     @property
     def stale_timer_count(self) -> int:

@@ -82,12 +82,21 @@ class LinkParameters:
 
 
 class TrafficMeter:
-    """Counts bytes and messages by separation level."""
+    """Counts bytes and messages by separation level.
+
+    The hot ledgers stay plain dicts (``record`` runs once per
+    message); :meth:`bind_metrics` additionally exposes them as
+    function-backed per-:class:`Level` counters in a
+    :class:`~repro.analysis.telemetry.MetricsRegistry`, which is what
+    makes phase-scoped traffic windows possible
+    (:meth:`wide_area_delta`).
+    """
 
     def __init__(self):
         self.bytes_by_level: Dict[Level, int] = {lvl: 0 for lvl in Level}
         self.messages_by_level: Dict[Level, int] = {lvl: 0 for lvl in Level}
         self.dropped_messages = 0
+        self._metrics_prefix: str = "net"
 
     def record(self, level: Level, size: int) -> None:
         self.bytes_by_level[level] += size
@@ -95,6 +104,31 @@ class TrafficMeter:
 
     def record_drop(self) -> None:
         self.dropped_messages += 1
+
+    def bind_metrics(self, registry, prefix: str = "net") -> None:
+        """Register per-level byte/message counters as a view over the
+        ledgers — ``net.bytes.WORLD``, ``net.messages.SITE``, ... plus
+        ``net.dropped``.  Zero cost on the delivery path."""
+        self._metrics_prefix = prefix
+        for level in Level:
+            registry.counter(
+                "%s.bytes.%s" % (prefix, level.name),
+                fn=lambda ledger=self.bytes_by_level, key=level:
+                    ledger[key])
+            registry.counter(
+                "%s.messages.%s" % (prefix, level.name),
+                fn=lambda ledger=self.messages_by_level, key=level:
+                    ledger[key])
+        registry.counter(prefix + ".dropped",
+                         fn=lambda: self.dropped_messages)
+
+    def wide_area_delta(self, window, min_level: Level = Level.REGION) -> int:
+        """Bytes this meter carried across ``min_level``-or-wider
+        boundaries inside a :class:`PhaseWindow` (requires
+        :meth:`bind_metrics` on the window's registry)."""
+        return sum(window.delta("%s.bytes.%s"
+                                % (self._metrics_prefix, level.name))
+                   for level in Level if level >= min_level)
 
     @property
     def total_bytes(self) -> int:
@@ -110,7 +144,11 @@ class TrafficMeter:
                    if level >= min_level)
 
     def reset(self) -> None:
-        self.__init__()
+        # In place: bound registry counters hold views of these dicts.
+        for level in Level:
+            self.bytes_by_level[level] = 0
+            self.messages_by_level[level] = 0
+        self.dropped_messages = 0
 
     def snapshot(self) -> Dict[str, int]:
         return {level.name: self.bytes_by_level[level] for level in Level}

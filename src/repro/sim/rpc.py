@@ -24,6 +24,13 @@ Client-side deadlines follow the kernel's cancellation discipline:
 each call arms one guard :class:`~repro.sim.kernel.Timeout` that fails
 the reply waiter if it expires, and *cancels* it the moment the reply
 arrives — a successful call leaves nothing behind in the event heap.
+
+Telemetry: servers and clients keep plain-int counters on the hot path
+(``requests_served``; ``calls``/``retries``/``timeouts``/``faults``)
+and expose them to a :class:`~repro.analysis.telemetry
+.MetricsRegistry` through ``bind_metrics`` as function-backed
+instruments, so per-phase windows can report RPC activity without the
+request path ever touching an instrument object.
 """
 
 from __future__ import annotations
@@ -146,6 +153,10 @@ class RpcServer:
     def register(self, method: str, handler: Callable) -> None:
         self.handlers[method] = handler
 
+    def bind_metrics(self, registry, prefix: str) -> None:
+        registry.counter(prefix + ".requests_served",
+                         fn=lambda: self.requests_served)
+
     def start(self) -> None:
         self._listener = self.host.listen(self.port)
         self.host.spawn(self._accept_loop(self._listener))
@@ -238,8 +249,19 @@ class RpcChannel:
         self.host = host
         self.conn = conn
         self.sim = host.sim
+        self.calls = 0
+        self.timeouts = 0
+        self.faults = 0
         self._pending: Dict[int, Event] = {}
         self._dispatcher = host.spawn(self._dispatch_loop())
+
+    def bind_metrics(self, registry, prefix: str) -> None:
+        """Expose this channel's call accounting (long-lived channels —
+        replication links, moderator sessions — are worth watching;
+        per-request channels need not bind)."""
+        registry.counter(prefix + ".calls", fn=lambda: self.calls)
+        registry.counter(prefix + ".timeouts", fn=lambda: self.timeouts)
+        registry.counter(prefix + ".faults", fn=lambda: self.faults)
 
     @classmethod
     def open(cls, host: Host, dst: Host, port: int,
@@ -277,6 +299,7 @@ class RpcChannel:
         request_id = next(_request_ids)
         request = {"id": request_id, "method": method,
                    "args": args or {}, "src": self.host.name}
+        self.calls += 1
         waiter = self.sim.event()
         self._pending[request_id] = waiter
         try:
@@ -290,15 +313,23 @@ class RpcChannel:
             self._pending.pop(request_id, None)
             raise
         if timeout is None:
-            value = yield waiter
+            try:
+                value = yield waiter
+            except RpcFault:
+                self.faults += 1
+                raise
             return value
         deadline = _arm_deadline(self.sim, waiter, timeout)
         try:
             value = yield waiter
         except _DeadlineExpired:
+            self.timeouts += 1
             self._pending.pop(request_id, None)
             raise RpcTimeout("%s timed out after %gs"
                              % (method, timeout)) from None
+        except RpcFault:
+            self.faults += 1
+            raise
         finally:
             deadline.cancel()  # no stranded timers on the reply path
         return value
@@ -361,6 +392,10 @@ class UdpRpcServer:
 
     def register(self, method: str, handler: Callable) -> None:
         self.handlers[method] = handler
+
+    def bind_metrics(self, registry, prefix: str) -> None:
+        registry.counter(prefix + ".requests_served",
+                         fn=lambda: self.requests_served)
 
     def start(self) -> None:
         self._socket = self.host.udp_socket(self.port)
@@ -426,9 +461,22 @@ class UdpRpcClient:
         self.sim = host.sim
         self.timeout = timeout
         self.retries = retries
+        # Plain-int accounting (calls = logical calls, not datagrams;
+        # retries = extra attempts; timeouts = calls that exhausted the
+        # retry budget; faults = remote handler errors).
+        self.calls = 0
+        self.retries_sent = 0
+        self.timeouts_hit = 0
+        self.faults = 0
         self._socket = host.udp_socket()
         self._pending: Dict[int, Event] = {}
         host.spawn(self._dispatch_loop())
+
+    def bind_metrics(self, registry, prefix: str) -> None:
+        registry.counter(prefix + ".calls", fn=lambda: self.calls)
+        registry.counter(prefix + ".retries", fn=lambda: self.retries_sent)
+        registry.counter(prefix + ".timeouts", fn=lambda: self.timeouts_hit)
+        registry.counter(prefix + ".faults", fn=lambda: self.faults)
 
     def _ensure_open(self) -> None:
         """Re-open the socket after a host crash+restart destroyed it.
@@ -475,8 +523,11 @@ class UdpRpcClient:
         late reply to an earlier attempt is ignored.
         """
         self._ensure_open()
+        self.calls += 1
         last_error: Optional[Exception] = None
-        for _attempt in range(1 + self.retries):
+        for attempt in range(1 + self.retries):
+            if attempt:
+                self.retries_sent += 1
             request_id = next(_request_ids)
             request = {"id": request_id, "method": method,
                        "args": args or {}, "src": self.host.name}
@@ -485,15 +536,19 @@ class UdpRpcClient:
             self._socket.send_to(dst, port, request)
             deadline = _arm_deadline(self.sim, waiter, self.timeout)
             try:
-                value = yield waiter  # may raise RpcFault
+                value = yield waiter
             except _DeadlineExpired:
                 self._pending.pop(request_id, None)
                 last_error = RpcTimeout(
                     "%s to %s:%d timed out" % (method, dst.name, port))
                 continue
+            except RpcFault:
+                self.faults += 1
+                raise
             finally:
                 deadline.cancel()  # a successful call leaves no timer behind
             return value
+        self.timeouts_hit += 1
         raise last_error
 
     def close(self) -> None:

@@ -13,6 +13,7 @@ import hashlib
 import random
 from typing import Any, Dict, Optional, Union
 
+from ..analysis.telemetry import MetricsRegistry
 from .kernel import Process, Simulator
 from .network import LinkParameters, Network
 from .topology import Domain, Topology
@@ -22,7 +23,15 @@ __all__ = ["World"]
 
 
 class World:
-    """A self-contained simulated internet."""
+    """A self-contained simulated internet.
+
+    The world also owns the telemetry registry (``world.metrics``):
+    the kernel's event/timer counters and the network's per-level
+    traffic ledgers are bound at construction, and every component
+    added later (GLS nodes, object servers, HTTPDs, load stats) binds
+    its own instruments, so one registry answers for the whole run —
+    including phase windows (``world.metrics.phase(...)``).
+    """
 
     def __init__(self, topology: Optional[Topology] = None,
                  params: Optional[LinkParameters] = None, seed: int = 0):
@@ -31,6 +40,9 @@ class World:
         self.topology = topology or Topology.balanced()
         self.network = Network(self.sim, self.topology, params, seed=seed)
         self.hosts: Dict[str, Host] = {}
+        self.metrics = MetricsRegistry()
+        self.sim.bind_metrics(self.metrics)
+        self.network.meter.bind_metrics(self.metrics)
 
     # -- host management --------------------------------------------------
 

@@ -5,9 +5,10 @@ from .loadgen import (Arrival, ArrivalSchedule, BurstSchedule,
                       PoissonSchedule, UniformSchedule)
 from .packages import PackageSpec, generate_corpus, synthetic_file
 from .population import ClientPopulation, Request, RequestStream
-from .scenario import (ClosedLoopScenario, HybridScenario, OpenLoopScenario,
-                       RequestMix, Scenario, Soak, SoakReport, TraceEvent,
-                       TraceScenario, load_trace, record_stream, save_trace)
+from .scenario import (TRACE_DIR, ClosedLoopScenario, HybridScenario,
+                       OpenLoopScenario, RequestMix, Scenario, Soak,
+                       SoakReport, TraceEvent, TraceScenario, bundled_trace,
+                       load_trace, record_stream, save_trace)
 from .webtrace import WebDocument, make_web_trace
 from .zipf import ZipfSampler
 
@@ -16,8 +17,9 @@ __all__ = [
     "LoadGenerator", "LoadStats", "PoissonSchedule", "UniformSchedule",
     "PackageSpec", "generate_corpus", "synthetic_file",
     "ClientPopulation", "Request", "RequestStream",
-    "ClosedLoopScenario", "HybridScenario", "OpenLoopScenario",
+    "TRACE_DIR", "ClosedLoopScenario", "HybridScenario", "OpenLoopScenario",
     "RequestMix", "Scenario", "Soak", "SoakReport", "TraceEvent",
-    "TraceScenario", "load_trace", "record_stream", "save_trace",
+    "TraceScenario", "bundled_trace", "load_trace", "record_stream",
+    "save_trace",
     "WebDocument", "make_web_trace", "ZipfSampler",
 ]

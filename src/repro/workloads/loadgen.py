@@ -26,7 +26,10 @@ Three pieces:
   from a topology's sites, so load lands where clients live.
 * **The driver** — :class:`LoadGenerator` spawns one simulation
   process per arrival, measures each request's latency, and accounts
-  successes, application failures and errors in :class:`LoadStats`.
+  successes, application failures and errors in :class:`LoadStats` —
+  a bundle of telemetry-registry instruments whose latency histogram
+  streams in O(1) per request (no sample list at 10⁵+ scale).  Runs
+  are bounded by ``count`` or by ``duration`` (simulated seconds).
 
 Typical use::
 
@@ -49,11 +52,12 @@ the next one — that is the point.
 
 from __future__ import annotations
 
+import itertools
 import random
 from typing import (Any, Callable, Dict, Generator, Iterator, List,
                     Optional, Sequence)
 
-from ..analysis.metrics import Series
+from ..analysis.telemetry import MetricsRegistry
 from ..sim.kernel import Event, Simulator
 from ..sim.topology import Domain
 from .zipf import ZipfSampler
@@ -98,9 +102,13 @@ class Arrival:
 
 
 class ArrivalSchedule:
-    """Produces absolute arrival times from ``start`` onward."""
+    """Produces absolute arrival times from ``start`` onward.
 
-    def times(self, count: int, start: float,
+    ``count=None`` yields an unbounded stream — the duration-bound
+    driver slices it by simulated time instead of by request count.
+    """
+
+    def times(self, count: Optional[int], start: float,
               rng: random.Random) -> Iterator[float]:
         raise NotImplementedError
 
@@ -117,9 +125,10 @@ class UniformSchedule(ArrivalSchedule):
             raise ValueError("rate must be positive")
         self.rate = rate
 
-    def times(self, count: int, start: float,
+    def times(self, count: Optional[int], start: float,
               rng: random.Random) -> Iterator[float]:
-        for index in range(count):
+        indices = itertools.count() if count is None else range(count)
+        for index in indices:
             yield start + index / self.rate
 
 
@@ -134,12 +143,14 @@ class PoissonSchedule(ArrivalSchedule):
             raise ValueError("rate must be positive")
         self.rate = rate
 
-    def times(self, count: int, start: float,
+    def times(self, count: Optional[int], start: float,
               rng: random.Random) -> Iterator[float]:
         now = start
-        for _ in range(count):
+        produced = 0
+        while count is None or produced < count:
             now += rng.expovariate(self.rate)
             yield now
+            produced += 1
 
 
 class BurstSchedule(ArrivalSchedule):
@@ -149,8 +160,12 @@ class BurstSchedule(ArrivalSchedule):
     same instant, e.g. a tool pushing a batch of updates concurrently.
     """
 
-    def times(self, count: int, start: float,
+    def times(self, count: Optional[int], start: float,
               rng: random.Random) -> Iterator[float]:
+        if count is None:
+            # Every burst arrival shares one instant; an open-ended
+            # burst would issue forever without advancing time.
+            raise ValueError("BurstSchedule needs a count, not a duration")
         for _ in range(count):
             yield start
 
@@ -190,7 +205,7 @@ class FlashCrowdSchedule(ArrivalSchedule):
             return spike_end
         return None
 
-    def times(self, count: int, start: float,
+    def times(self, count: Optional[int], start: float,
               rng: random.Random) -> Iterator[float]:
         # Exact piecewise-constant Poisson sampling: a gap that would
         # cross a rate boundary is discarded and redrawn at the new
@@ -199,7 +214,7 @@ class FlashCrowdSchedule(ArrivalSchedule):
         # spike window and the flash crowd would never happen.
         now = start
         produced = 0
-        while produced < count:
+        while count is None or produced < count:
             offset = now - start
             gap = rng.expovariate(self.rate_at(offset))
             boundary = self._next_boundary(offset)
@@ -212,37 +227,113 @@ class FlashCrowdSchedule(ArrivalSchedule):
 
 
 class LoadStats:
-    """Throughput / latency / drop accounting for one load run."""
+    """Throughput / latency / drop accounting for one load run.
 
-    def __init__(self):
-        self.issued = 0
-        self.ok = 0
-        self.failed = 0
+    A bundle of :class:`~repro.analysis.telemetry.MetricsRegistry`
+    instruments: issued/ok/failed counters, an error counter, and a
+    streaming :class:`~repro.analysis.telemetry.Histogram` of request
+    latency (O(1) per request, bounded-error quantiles — no sample
+    list however long the soak).  Pass the world's registry
+    (``LoadStats(registry=world.metrics)``) to make the load metrics
+    visible to its phase windows alongside kernel/network/server
+    instruments; the default is a private registry.  Several stats
+    bundles can share one registry — each claims a unique prefix.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None,
+                 prefix: str = "load", max_error: float = 0.01):
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.prefix = self.registry.unique_prefix(prefix)
+        self._issued = 0
+        self._ok = 0
+        self._failed = 0
         #: exception-type name -> count, for requests that raised.
         self.errors: Dict[str, int] = {}
-        self.latency = Series("latency")
+        self.registry.counter(self.prefix + ".issued",
+                              fn=lambda: self._issued)
+        self.registry.counter(self.prefix + ".ok", fn=lambda: self._ok)
+        self.registry.counter(self.prefix + ".failed",
+                              fn=lambda: self._failed)
+        self.registry.counter(self.prefix + ".errors",
+                              fn=lambda: sum(self.errors.values()))
+        self.latency = self.registry.histogram(self.prefix + ".latency",
+                                               max_error=max_error)
+
+    # -- recording (the accounting contract of ``measured``) ------------
+
+    def note_issued(self) -> None:
+        self._issued += 1
+
+    def note_ok(self, latency: float) -> None:
+        self._ok += 1
+        self.latency.record(latency)
+
+    def note_failed(self, error: Optional[str] = None) -> None:
+        self._failed += 1
+        if error is not None:
+            self.errors[error] = self.errors.get(error, 0) + 1
+
+    # -- reading ---------------------------------------------------------
+
+    @property
+    def issued(self) -> int:
+        return self._issued
+
+    @property
+    def ok(self) -> int:
+        return self._ok
+
+    @property
+    def failed(self) -> int:
+        return self._failed
 
     @property
     def finished(self) -> int:
-        return self.ok + self.failed
+        return self._ok + self._failed
 
     @property
     def in_flight(self) -> int:
-        return self.issued - self.finished
+        return self._issued - self.finished
 
     def throughput(self, elapsed: float) -> float:
-        """Completed-OK requests per second of simulated time."""
+        """Completed-OK requests per second of simulated time.
+
+        0.0 for an empty or instantaneous run — a soak that completed
+        nothing must still report cleanly.
+        """
         if elapsed <= 0:
-            raise ValueError("elapsed must be positive")
-        return self.ok / elapsed
+            return 0.0
+        return self._ok / elapsed
 
     def summary(self) -> Dict[str, Any]:
-        out: Dict[str, Any] = {"issued": self.issued, "ok": self.ok,
-                               "failed": self.failed}
-        if self.latency.count:
-            out.update({"mean": self.latency.mean,
-                        "p95": self.latency.p(95)})
+        """Counts plus latency summary; all-zero when nothing ran."""
+        out: Dict[str, Any] = {"issued": self._issued, "ok": self._ok,
+                               "failed": self._failed}
+        out.update({"mean": self.latency.mean, "p50": self.latency.p(50),
+                    "p95": self.latency.p(95)})
         return out
+
+    def phase_summary(self, window) -> Dict[str, Any]:
+        """This bundle's activity inside one
+        :class:`~repro.analysis.telemetry.PhaseWindow`: count deltas,
+        the latency histogram of completions in the window, and
+        throughput over the window's span."""
+        latency = window.delta(self.latency.name)
+        duration = window.duration or 0.0
+        ok = window.delta(self.prefix + ".ok")
+        return {
+            "phase": window.label,
+            "duration": duration,
+            "issued": window.delta(self.prefix + ".issued"),
+            "ok": ok,
+            "failed": window.delta(self.prefix + ".failed"),
+            "errors": window.delta(self.prefix + ".errors"),
+            "throughput": ok / duration if duration > 0 else 0.0,
+            "mean": latency.mean,
+            "p50": latency.p(50),
+            "p95": latency.p(95),
+        }
 
 
 class LoadGenerator:
@@ -255,6 +346,11 @@ class LoadGenerator:
     per request; ``popularity`` (a :class:`ZipfSampler`) assigns each
     request an object rank.  Both are optional — a single-site,
     single-object workload needs neither.
+
+    The run is bounded either by ``count`` (exactly that many
+    arrivals) or by ``duration`` (issue arrivals until the schedule
+    passes ``start + duration`` of simulated time — the open-ended
+    soak mode, where the request total is an outcome, not an input).
     """
 
     def __init__(self, sim: Simulator,
@@ -266,10 +362,14 @@ class LoadGenerator:
                  popularity: Optional[ZipfSampler] = None,
                  stats: Optional[LoadStats] = None,
                  arrivals: Optional[Sequence[Arrival]] = None,
-                 mix: Optional[Any] = None):
+                 mix: Optional[Any] = None,
+                 duration: Optional[float] = None):
         if arrivals is not None:
             # A prebuilt arrival stream (trace replay, request mixes)
             # replaces the schedule/sites/popularity drawing entirely.
+            if duration is not None:
+                raise ValueError("duration does not apply to prebuilt "
+                                 "arrivals")
             self._prebuilt: Optional[List[Arrival]] = list(arrivals)
             if count is None:
                 count = len(self._prebuilt)
@@ -278,15 +378,19 @@ class LoadGenerator:
         else:
             if schedule is None:
                 raise ValueError("need a schedule or prebuilt arrivals")
-            if count is None:
-                raise ValueError("count is required with a schedule")
+            if (count is None) == (duration is None):
+                raise ValueError(
+                    "bound the run with either count or duration")
             self._prebuilt = None
-        if count < 1:
+        if count is not None and count < 1:
             raise ValueError("count must be >= 1")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
         self.sim = sim
         self.schedule = schedule
         self.request = request
         self.count = count
+        self.duration = duration
         self.rng = rng or random.Random(0)
         self.sites: Optional[List[Domain]] = (list(sites) if sites is not None
                                               else None)
@@ -299,7 +403,10 @@ class LoadGenerator:
         # Completion is tracked per generator, not via `stats`: a
         # LoadStats may be shared across several runs to aggregate,
         # which must not make a later run think it finished early.
+        # The target is unknown until the (possibly duration-cut)
+        # arrival loop ends.
         self._finished = 0
+        self._target: Optional[int] = None
         self._idle: Optional[Event] = None
 
     def arrivals(self) -> Iterator[Arrival]:
@@ -327,12 +434,19 @@ class LoadGenerator:
         ``sim.process(gen.run())`` to run it standalone.
         """
         start = self.sim.now
+        deadline = (start + self.duration if self.duration is not None
+                    else None)
+        issued = 0
         for arrival in self.arrivals():
+            if deadline is not None and arrival.time > deadline:
+                break
             if arrival.time > self.sim.now:
                 yield self.sim.timeout(arrival.time - self.sim.now)
-            self.stats.issued += 1
+            self.stats.note_issued()
+            issued += 1
             self.sim.process(self._measure(arrival))
-        if self._finished < self.count:
+        self._target = issued
+        if self._finished < issued:
             # Wait for in-flight stragglers — woken exactly once by the
             # last completion, no polling loop.
             self._idle = self.sim.event()
@@ -342,7 +456,8 @@ class LoadGenerator:
     def _measure(self, arrival: Arrival) -> Generator:
         yield from measured(self.sim, self.request, arrival, self.stats)
         self._finished += 1
-        if self._idle is not None and self._finished >= self.count:
+        if self._idle is not None and self._target is not None \
+                and self._finished >= self._target:
             self._idle.succeed()
             self._idle = None
 
@@ -357,12 +472,9 @@ def measured(sim: Simulator, request: Callable[[Arrival], Generator],
     try:
         result = yield from request(arrival)
     except Exception as exc:  # noqa: BLE001 - accounted, not hidden
-        stats.failed += 1
-        name = type(exc).__name__
-        stats.errors[name] = stats.errors.get(name, 0) + 1
+        stats.note_failed(type(exc).__name__)
     else:
         if result is False:
-            stats.failed += 1
+            stats.note_failed()
         else:
-            stats.ok += 1
-            stats.latency.add(sim.now - started)
+            stats.note_ok(sim.now - started)

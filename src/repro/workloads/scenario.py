@@ -26,10 +26,22 @@ Four scenario families:
   concurrently against the same system and stats: e.g. a closed-loop
   population of regulars plus an open-loop flash crowd.
 
+Open- and closed-loop scenarios are bounded either by request
+``count`` or by ``duration`` (simulated seconds — the open-ended soak
+mode, where the request total is an outcome of the run).
+
 :class:`Soak` composes any scenario with
 :class:`~repro.sim.failures.FailureInjector` faults (host
 crash/restart, partitions) and end-of-run invariant checks — the
-long-haul harness behind ``examples/soak.py``.
+long-haul harness behind ``examples/soak.py``.  Every soak is sliced
+into telemetry *phase windows* (pre-fault / during-fault / recovered)
+on the stats bundle's :class:`~repro.analysis.telemetry
+.MetricsRegistry`, so the report can answer "what was p95 latency
+*while* the partition was up?" without bespoke counters.
+
+A small corpus of recorded traces is committed under
+:data:`TRACE_DIR` (see ``traces/README.md``) for cross-PR replay
+regression tests; :func:`bundled_trace` resolves a corpus entry.
 
 Every scenario is driven the same way::
 
@@ -63,7 +75,9 @@ from .population import RequestStream
 from .zipf import ZipfSampler
 
 __all__ = [
+    "TRACE_DIR",
     "TraceEvent",
+    "bundled_trace",
     "record_stream",
     "save_trace",
     "load_trace",
@@ -78,6 +92,21 @@ __all__ = [
 ]
 
 RequestFn = Callable[[Arrival], Generator]
+
+#: The committed trace regression corpus: small recorded workloads
+#: replayed identically across runs and PRs (see traces/README.md for
+#: how to record a new one with :func:`save_trace`).
+TRACE_DIR = pathlib.Path(__file__).parent / "traces"
+
+
+def bundled_trace(name: str) -> pathlib.Path:
+    """Path of a committed regression trace (``mixed_small.jsonl``,
+    ...); raises if the corpus does not contain it."""
+    path = TRACE_DIR / name
+    if not path.exists():
+        raise FileNotFoundError("no bundled trace %r under %s"
+                                % (name, TRACE_DIR))
+    return path
 
 
 # -- trace format -----------------------------------------------------------
@@ -253,15 +282,27 @@ class OpenLoopScenario(Scenario):
     :class:`~repro.workloads.loadgen.ArrivalSchedule` plus optional
     site placement and a :class:`RequestMix` (or ``popularity``
     sampler) for multi-object workloads.
+
+    Bound the run with either ``count`` (exactly that many arrivals)
+    or ``duration`` (arrivals until that much simulated time has
+    passed — open-ended soaks stop on the clock; :attr:`count` is then
+    ``None`` because the total is an outcome of the run).
     """
 
-    def __init__(self, schedule: ArrivalSchedule, count: int,
+    def __init__(self, schedule: ArrivalSchedule, count: Optional[int] = None,
                  sites: Optional[Sequence[Domain]] = None,
                  mix: Optional[RequestMix] = None,
                  popularity: Optional[Any] = None,
-                 label: str = "open-loop"):
+                 label: str = "open-loop",
+                 duration: Optional[float] = None):
+        if (count is None) == (duration is None):
+            raise ValueError("bound the scenario with either count "
+                             "or duration")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
         self.schedule = schedule
         self.count = count
+        self.duration = duration
         self.sites = list(sites) if sites is not None else None
         self.mix = mix
         self.popularity = popularity
@@ -272,7 +313,8 @@ class OpenLoopScenario(Scenario):
         generator = LoadGenerator(sim, self.schedule, request, self.count,
                                   rng=self._fork(rng), sites=self.sites,
                                   popularity=self.popularity,
-                                  stats=stats, mix=self.mix)
+                                  stats=stats, mix=self.mix,
+                                  duration=self.duration)
         return [generator.run()]
 
 
@@ -354,29 +396,42 @@ class TraceScenario(Scenario):
     def _sequential(sim: Simulator, request: RequestFn,
                     arrivals: List[Arrival], stats: LoadStats) -> Generator:
         for arrival in arrivals:
-            stats.issued += 1
+            stats.note_issued()
             yield from measured(sim, request, arrival, stats)
 
 
 class ClosedLoopScenario(Scenario):
     """A population of think-time clients.
 
-    Each client loops ``requests_per_client`` times: think (an
-    exponential or fixed delay of mean ``think_time``), issue one
-    request, *wait for it to finish*.  A saturated system slows the
-    clients down — exactly the feedback an open loop refuses to model,
-    and the right model for sequenced interactions.  Clients are
-    placed round-robin over ``sites``; objects come from ``mix``.
+    Each client loops: think (an exponential or fixed delay of mean
+    ``think_time``), issue one request, *wait for it to finish*.  A
+    saturated system slows the clients down — exactly the feedback an
+    open loop refuses to model, and the right model for sequenced
+    interactions.  Clients are placed round-robin over ``sites``;
+    objects come from ``mix``.
+
+    Bound each client with ``requests_per_client`` (a fixed quota) or
+    ``duration`` (clients keep looping until that much simulated time
+    has passed, then finish their in-flight request and stop — the
+    open-ended soak mode; :attr:`count` is then ``None``).
     """
 
     def __init__(self, clients: int, think_time: float,
-                 requests_per_client: int,
+                 requests_per_client: Optional[int] = None,
                  sites: Optional[Sequence[Domain]] = None,
                  mix: Optional[RequestMix] = None,
                  think: str = "exponential",
-                 label: str = "closed-loop"):
-        if clients < 1 or requests_per_client < 1:
-            raise ValueError("need at least one client and one request")
+                 label: str = "closed-loop",
+                 duration: Optional[float] = None):
+        if clients < 1:
+            raise ValueError("need at least one client")
+        if (requests_per_client is None) == (duration is None):
+            raise ValueError("bound the clients with either "
+                             "requests_per_client or duration")
+        if requests_per_client is not None and requests_per_client < 1:
+            raise ValueError("need at least one request per client")
+        if duration is not None and duration <= 0:
+            raise ValueError("duration must be positive")
         if think_time < 0:
             raise ValueError("think time cannot be negative")
         if think not in ("exponential", "fixed"):
@@ -384,13 +439,16 @@ class ClosedLoopScenario(Scenario):
         self.clients = clients
         self.think_time = think_time
         self.requests_per_client = requests_per_client
+        self.duration = duration
         self.sites = list(sites) if sites is not None else None
         self.mix = mix
         self.think = think
         self.label = label
 
     @property
-    def count(self) -> int:
+    def count(self) -> Optional[int]:
+        if self.requests_per_client is None:
+            return None
         return self.clients * self.requests_per_client
 
     def build(self, sim: Simulator, request: RequestFn,
@@ -412,10 +470,20 @@ class ClosedLoopScenario(Scenario):
                 counter: List[int]) -> Generator:
         site = (self.sites[client_index % len(self.sites)]
                 if self.sites else None)
-        for _ in range(self.requests_per_client):
+        deadline = (sim.now + self.duration if self.duration is not None
+                    else None)
+        issued = 0
+        stalled_cycles = 0
+        while True:
+            if self.requests_per_client is not None \
+                    and issued >= self.requests_per_client:
+                break
+            cycle_started = sim.now
             delay = self._think_delay(rng)
             if delay > 0:
                 yield sim.timeout(delay)
+            if deadline is not None and sim.now >= deadline:
+                break
             if self.mix is not None:
                 rank, kind = self.mix.draw(rng)
             else:
@@ -423,9 +491,24 @@ class ClosedLoopScenario(Scenario):
             index = counter[0]
             counter[0] += 1
             arrival = Arrival(index, sim.now, site, rank, kind)
-            stats.issued += 1
+            stats.note_issued()
+            issued += 1
             # Closed loop: measure inline — the client *is* the waiter.
             yield from measured(sim, request, arrival, stats)
+            if deadline is not None:
+                # A duration bound only ever trips on the simulated
+                # clock; zero think time plus zero-time requests would
+                # spin here forever.  Surface the livelock instead.
+                if sim.now == cycle_started:
+                    stalled_cycles += 1
+                    if stalled_cycles >= 1000:
+                        raise ValueError(
+                            "duration-bound closed loop made no "
+                            "simulated-time progress for 1000 cycles "
+                            "(zero think time and zero-time requests "
+                            "can never reach the deadline)")
+                else:
+                    stalled_cycles = 0
 
 
 class HybridScenario(Scenario):
@@ -445,8 +528,13 @@ class HybridScenario(Scenario):
         self.label = label
 
     @property
-    def count(self) -> int:
-        return sum(scenario.count for scenario in self.scenarios)
+    def count(self) -> Optional[int]:
+        """Total requests, or ``None`` if any member is duration-bound
+        (its total is only known after the run)."""
+        counts = [scenario.count for scenario in self.scenarios]
+        if any(count is None for count in counts):
+            return None
+        return sum(counts)
 
     def build(self, sim: Simulator, request: RequestFn,
               rng: random.Random, stats: LoadStats) -> List[Generator]:
@@ -457,36 +545,69 @@ class HybridScenario(Scenario):
         return drivers
 
 
-# -- soak runs: load + faults + invariants ----------------------------------
+# -- soak runs: load + faults + invariants + phase windows ------------------
 
 class SoakReport:
-    """Outcome of one :class:`Soak` run."""
+    """Outcome of one :class:`Soak` run.
+
+    Besides the run totals, carries the closed
+    :class:`~repro.analysis.telemetry.PhaseWindow` per phase
+    (pre-fault / during-fault / recovered), so latency, throughput and
+    error counts can be reported for each phase separately —
+    :meth:`phase_rows` gives the numbers, :meth:`phase_table` the
+    rendered table.
+    """
 
     def __init__(self, stats: LoadStats, elapsed: float,
                  fault_log: List[tuple],
                  failures: List[Tuple[str, str]],
-                 invariants_checked: int):
+                 invariants_checked: int,
+                 phases: Optional[List[Any]] = None):
         self.stats = stats
         self.elapsed = elapsed
         self.fault_log = fault_log
         self.failures = failures
         self.invariants_checked = invariants_checked
+        #: Closed PhaseWindows tiling the run, in order.
+        self.phases = list(phases or [])
 
     @property
     def ok(self) -> bool:
         return not self.failures
 
     def summary(self) -> Dict[str, Any]:
+        """Run totals; all-zero (never raising) when nothing completed."""
         out = dict(self.stats.summary())
         out.update({"elapsed": self.elapsed,
+                    "throughput": self.stats.throughput(self.elapsed),
                     "faults": len(self.fault_log),
                     "invariants": self.invariants_checked,
                     "violations": len(self.failures)})
         return out
 
+    def phase_rows(self) -> List[Dict[str, Any]]:
+        """Per-phase stats dicts, sourced solely from registry windows."""
+        return [self.stats.phase_summary(window) for window in self.phases]
+
+    def phase_table(self) -> str:
+        """The per-phase report the ROADMAP asked for: throughput,
+        latency quantiles and error counts during vs after a fault."""
+        from ..analysis.tables import Table, format_rate, format_seconds
+        table = Table(["phase", "span", "issued", "ok", "failed",
+                       "throughput", "p50 latency", "p95 latency"],
+                      title="per-phase telemetry "
+                            "(MetricsRegistry windows)")
+        for row in self.phase_rows():
+            table.add_row(row["phase"], format_seconds(row["duration"]),
+                          row["issued"], row["ok"], row["failed"],
+                          format_rate(row["throughput"]),
+                          format_seconds(row["p50"]),
+                          format_seconds(row["p95"]))
+        return table.render()
+
 
 class Soak:
-    """Sustained load + fault injection + end-of-run invariants.
+    """Sustained load + fault injection + invariants + phase windows.
 
     Wraps any :class:`Scenario` with a
     :class:`~repro.sim.failures.FailureInjector` schedule (declare
@@ -494,6 +615,15 @@ class Soak:
     and named invariant checks evaluated after the load drains and the
     system settles.  An invariant is a callable returning ``False`` or
     raising to signal violation; anything else passes.
+
+    The run is automatically sliced into phase windows on the stats
+    bundle's registry: ``pre-fault`` until the first scheduled fault
+    begins, ``during-fault`` until the last one ends (restart /
+    partition heal), and ``recovered`` to the end of the settle
+    period.  A fault-free soak gets a single ``steady`` phase.  Extra
+    boundaries can be added with :meth:`mark_phase`.  Create the stats
+    as ``LoadStats(registry=world.metrics)`` to capture kernel,
+    network and server instruments in the same windows.
     """
 
     def __init__(self, world: World, scenario: Scenario,
@@ -505,20 +635,29 @@ class Soak:
         self.scenario = scenario
         self.request = request
         self.rng = rng if rng is not None else world.rng_for("soak")
-        self.stats = stats if stats is not None else LoadStats()
+        self.stats = stats if stats is not None \
+            else LoadStats(registry=world.metrics)
         self.settle = settle
         self.injector = FailureInjector(world)
         self.invariants: List[Tuple[str, Callable[[], Any]]] = []
+        self._fault_spans: List[Tuple[float, float]] = []
+        self._extra_marks: List[Tuple[float, str]] = []
 
     # -- fault schedule (thin FailureInjector passthroughs) -------------
 
     def crash_restart(self, host: Host, crash_at: float, restart_at: float,
                       recover: Optional[Callable[[], None]] = None) -> None:
         self.injector.crash_restart(host, crash_at, restart_at, recover)
+        self._fault_spans.append((crash_at, restart_at))
 
     def partition(self, domain: Domain, start: float,
                   duration: float) -> None:
         self.injector.partition_domain(domain, start, duration)
+        self._fault_spans.append((start, start + duration))
+
+    def mark_phase(self, when: float, label: str) -> None:
+        """Open a custom phase window at absolute time ``when``."""
+        self._extra_marks.append((when, label))
 
     # -- invariants ------------------------------------------------------
 
@@ -527,13 +666,42 @@ class Soak:
 
     # -- the run ---------------------------------------------------------
 
+    def _phase_marks(self) -> List[Tuple[float, str]]:
+        marks = list(self._extra_marks)
+        if self._fault_spans:
+            marks.append((min(start for start, _ in self._fault_spans),
+                          "during-fault"))
+            marks.append((max(end for _, end in self._fault_spans),
+                          "recovered"))
+        return sorted(marks)
+
+    def _phase_driver(self, marks: List[Tuple[float, str]]) -> Generator:
+        registry = self.stats.registry
+        for when, label in marks:
+            if when > self.world.now:
+                yield self.world.sim.timeout(when - self.world.now)
+            registry.phase(label, now=self.world.now)
+
     def run(self, limit: float = 1e9) -> SoakReport:
+        registry = self.stats.registry
+        marks = self._phase_marks()
+        # A phase someone else left open (e.g. an experiment's setup
+        # window) is closed first, so it is appended *before* the
+        # count and the report's phases are the soak's own.
+        registry.end_phase(now=self.world.now)
+        phases_before = len(registry.phases)
+        registry.phase("pre-fault" if marks else "steady",
+                       now=self.world.now)
+        if marks:
+            self.world.sim.process(self._phase_driver(marks))
         driver = self.world.sim.process(
             self.scenario.drive(self.world.sim, self.request,
                                 rng=self.rng, stats=self.stats))
         elapsed = self.world.run_until(driver, limit=limit)
         if self.settle > 0:
             self.world.run(until=self.world.now + self.settle)
+        registry.end_phase(now=self.world.now)
+        phases = registry.phases[phases_before:]
         failures: List[Tuple[str, str]] = []
         for name, check in self.invariants:
             try:
@@ -544,4 +712,4 @@ class Soak:
                 if outcome is False:
                     failures.append((name, "returned False"))
         return SoakReport(self.stats, elapsed, list(self.injector.log),
-                          failures, len(self.invariants))
+                          failures, len(self.invariants), phases=phases)

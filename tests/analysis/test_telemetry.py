@@ -1,0 +1,238 @@
+"""Tests for the telemetry registry: instruments, histogram accuracy,
+merge/delta algebra, and phase windows."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.metrics import percentile
+from repro.analysis.telemetry import (Counter, Gauge, Histogram,
+                                      MetricsRegistry, TelemetryError)
+
+
+# -- counters and gauges -----------------------------------------------------
+
+def test_counter_and_gauge_basics():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value == 5
+    gauge = registry.gauge("g")
+    gauge.set(7)
+    assert gauge.value == 7
+    # Get-or-create returns the same instrument.
+    assert registry.counter("c") is counter
+    assert "c" in registry and "missing" not in registry
+
+
+def test_function_backed_instruments_read_the_source():
+    state = {"events": 0}
+    registry = MetricsRegistry()
+    counter = registry.counter("kernel.events", fn=lambda: state["events"])
+    gauge = registry.gauge("kernel.depth", fn=lambda: state["events"] * 2)
+    state["events"] = 21
+    assert counter.value == 21
+    assert gauge.value == 42
+    with pytest.raises(TelemetryError):
+        counter.inc()
+    with pytest.raises(TelemetryError):
+        gauge.set(1)
+
+
+def test_registry_rejects_kind_and_binding_conflicts():
+    registry = MetricsRegistry()
+    registry.counter("x")
+    with pytest.raises(TelemetryError):
+        registry.gauge("x")
+    with pytest.raises(TelemetryError):
+        registry.counter("x", fn=lambda: 1)  # silent re-bind refused
+    with pytest.raises(TelemetryError):
+        registry.get("nope")
+
+
+def test_unique_prefix_hands_out_distinct_scopes():
+    registry = MetricsRegistry()
+    assert registry.unique_prefix("load") == "load"
+    assert registry.unique_prefix("load") == "load#2"
+    assert registry.unique_prefix("load") == "load#3"
+    assert registry.unique_prefix("other") == "other"
+
+
+# -- histogram ---------------------------------------------------------------
+
+def test_histogram_quantiles_match_sorted_percentiles_within_5pct():
+    """Acceptance: bounded-error quantiles vs exact sorted-sample
+    percentiles on 10^4 samples (heavy-tailed, like latencies)."""
+    rng = random.Random(1234)
+    samples = [rng.lognormvariate(0.0, 1.5) for _ in range(10_000)]
+    hist = Histogram("lat")
+    hist.extend(samples)
+    assert hist.count == len(samples)
+    assert hist.mean == pytest.approx(sum(samples) / len(samples))
+    for q in (1, 10, 25, 50, 75, 90, 95, 99, 99.9):
+        exact = percentile(samples, q)
+        approx = hist.p(q)
+        assert abs(approx - exact) <= 0.05 * exact, \
+            "p%s: %g vs exact %g" % (q, approx, exact)
+    assert hist.p(0) == pytest.approx(min(samples))
+    assert hist.p(100) == pytest.approx(max(samples))
+
+
+def test_histogram_memory_is_bounded_by_buckets_not_samples():
+    hist = Histogram("lat", max_error=0.01)
+    rng = random.Random(7)
+    for _ in range(50_000):
+        hist.record(rng.uniform(1e-4, 10.0))
+    # ~5 decades of range at 1% accuracy: hundreds of buckets, not 50k.
+    assert len(hist._buckets) < 1200
+    assert hist.count == 50_000
+
+
+def test_histogram_empty_is_all_zeros_not_errors():
+    hist = Histogram("empty")
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.p(95) == 0.0
+    assert hist.summary() == {"count": 0, "mean": 0.0, "p50": 0.0,
+                              "p95": 0.0, "max": 0.0}
+    with pytest.raises(ValueError):
+        hist.p(101)
+
+
+def test_histogram_zero_and_negative_values():
+    hist = Histogram("h")
+    hist.extend([0.0, 0.0, 0.0, 5.0])
+    assert hist.count == 4
+    assert hist.p(50) == 0.0
+    assert hist.p(100) == pytest.approx(5.0)
+    assert hist.minimum == 0.0
+
+
+def test_histogram_merge_equals_recording_everything():
+    rng = random.Random(3)
+    first = [rng.expovariate(1.0) for _ in range(500)]
+    second = [rng.expovariate(5.0) for _ in range(800)]
+    a = Histogram("a")
+    a.extend(first)
+    b = Histogram("b")
+    b.extend(second)
+    combined = Histogram("c")
+    combined.extend(first + second)
+    a.merge(b)
+    # Counts, extremes and buckets match exactly; the sum only to
+    # float addition order (merge adds partial sums).
+    assert a.count == combined.count
+    assert a.minimum == combined.minimum
+    assert a.maximum == combined.maximum
+    assert a._buckets == combined._buckets
+    assert a.sum == pytest.approx(combined.sum)
+    assert a.p(50) == combined.p(50)
+    with pytest.raises(TelemetryError):
+        a.merge(Histogram("other", max_error=0.05))
+
+
+def test_histogram_state_is_a_determinism_fingerprint():
+    values = [0.1, 0.2, 0.30000001, 4.0]
+    a = Histogram("a")
+    a.extend(values)
+    b = Histogram("b")
+    b.extend(values)
+    assert a.state() == b.state()
+    b.record(0.2)
+    assert a.state() != b.state()
+
+
+# -- phase windows -----------------------------------------------------------
+
+def test_window_deltas_for_each_instrument_kind():
+    registry = MetricsRegistry()
+    counter = registry.counter("c")
+    gauge = registry.gauge("g")
+    hist = registry.histogram("h")
+    counter.inc(10)
+    gauge.set(1)
+    hist.record(1.0)
+
+    window = registry.window("during", now=2.0)
+    counter.inc(5)
+    gauge.set(9)
+    hist.record(3.0)
+    hist.record(4.0)
+    window.close(now=6.0)
+
+    assert window.duration == pytest.approx(4.0)
+    assert window.delta("c") == 5          # counters: end - start
+    assert window.delta("g") == 9          # gauges: reading at close
+    inside = window.delta("h")             # histograms: recorded inside
+    assert inside.count == 2
+    assert inside.sum == pytest.approx(7.0)
+    assert inside.p(100) == pytest.approx(4.0, rel=0.02)
+    # The pre-window sample is excluded.
+    assert inside.p(0) >= 2.0
+
+
+def test_window_handles_instruments_created_mid_window():
+    registry = MetricsRegistry()
+    window = registry.window("w")
+    late = registry.counter("late")
+    late.inc(3)
+    window.close()
+    assert window.delta("late") == 3
+
+
+def test_phase_chain_tiles_the_run_and_sums_to_totals():
+    registry = MetricsRegistry()
+    counter = registry.counter("reqs")
+    hist = registry.histogram("lat")
+
+    registry.phase("warmup", now=0.0)
+    counter.inc(3)
+    hist.extend([1.0, 2.0])
+    registry.phase("fault", now=10.0)
+    counter.inc(7)
+    hist.extend([5.0, 6.0, 7.0])
+    registry.phase("recovery", now=20.0)
+    counter.inc(2)
+    hist.record(1.5)
+    registry.end_phase(now=30.0)
+
+    assert [w.label for w in registry.phases] \
+        == ["warmup", "fault", "recovery"]
+    assert all(w.closed for w in registry.phases)
+    counts = [w.delta("reqs") for w in registry.phases]
+    assert counts == [3, 7, 2]
+    assert sum(counts) == counter.value
+    latencies = [w.delta("lat") for w in registry.phases]
+    assert [d.count for d in latencies] == [2, 3, 1]
+    assert sum(d.count for d in latencies) == hist.count
+    assert sum(d.sum for d in latencies) == pytest.approx(hist.sum)
+    assert [w.duration for w in registry.phases] == [10.0, 10.0, 10.0]
+    # The merged phase histograms reconstruct the run histogram.
+    merged = latencies[0].merge(latencies[1]).merge(latencies[2])
+    assert merged.count == hist.count
+    assert merged.p(50) == pytest.approx(hist.p(50))
+
+
+def test_window_summary_renders_all_instruments():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.histogram("h").record(1.0)
+    window = registry.window("w", now=0.0)
+    registry.get("c").inc(3)
+    window.close(now=1.0)
+    summary = window.summary()
+    assert summary["c"] == 3
+    assert summary["h"]["count"] == 0
+
+
+def test_registry_snapshot_shape():
+    registry = MetricsRegistry()
+    registry.counter("c").inc(2)
+    registry.gauge("g").set(4)
+    registry.histogram("h").extend([1.0, 2.0])
+    snap = registry.snapshot()
+    assert snap["c"] == 2 and snap["g"] == 4
+    assert snap["h"]["count"] == 2
+    assert snap["h"]["mean"] == pytest.approx(1.5)

@@ -379,3 +379,33 @@ def test_udp_calls_leave_no_timers_in_heap(world):
     world.run()  # drain the driver's own completion event
     assert world.sim.stale_timer_count == 0
     assert world.sim.heap_size == 0
+
+
+def test_rpc_channel_counters_bind_to_registry():
+    from repro.analysis.telemetry import MetricsRegistry
+    from repro.sim.topology import Topology
+    from repro.sim.world import World
+
+    world = World(topology=Topology.balanced(1, 1, 1, 2), seed=3)
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    server = rpc.RpcServer(b, 7000)
+    server.register("echo", lambda ctx, args: args["x"])
+    server.register("boom", lambda ctx, args: 1 / 0)
+    server.start()
+
+    def driver():
+        channel = yield from rpc.RpcChannel.open(a, b, 7000)
+        channel.bind_metrics(world.metrics, "chan")
+        value = yield from channel.call("echo", {"x": 5})
+        assert value == 5
+        try:
+            yield from channel.call("boom", {})
+        except rpc.RpcFault:
+            pass
+        channel.close()
+
+    world.run_until(a.spawn(driver()), limit=1e6)
+    assert world.metrics.get("chan.calls").value == 2
+    assert world.metrics.get("chan.faults").value == 1
+    assert world.metrics.get("chan.timeouts").value == 0

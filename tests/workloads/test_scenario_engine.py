@@ -84,8 +84,10 @@ def test_trace_replay_determinism_from_file(tmp_path):
 
         scenario = TraceScenario.from_file(path, topology=topology)
         stats, elapsed = _drive(sim, scenario, request, seed=7)
+        # Histogram state is the determinism fingerprint: same replay
+        # order and draws <=> identical (count, sum, extremes, buckets).
         return (stats.issued, stats.ok, stats.failed,
-                tuple(stats.latency.samples), elapsed)
+                stats.latency.state(), elapsed)
 
     assert one_run() == one_run()
 
@@ -307,7 +309,7 @@ def test_scenario_determinism_same_seed():
                                mix=RequestMix(5)),
         ])
         stats, elapsed = _drive(sim, scenario, request, seed=seed)
-        return tuple(stats.latency.samples), elapsed
+        return stats.latency.state(), elapsed
 
     assert one_run(4) == one_run(4)
     assert one_run(4) != one_run(5)
@@ -379,3 +381,254 @@ def test_soak_reports_violated_invariants():
     assert [name for name, _why in report.failures] \
         == ["returns false", "raises"]
     assert "broken state" in dict(report.failures)["raises"]
+
+
+# -- duration-bound scenarios ------------------------------------------------
+
+def test_open_loop_duration_stops_on_simulated_time():
+    sim = Simulator()
+    issued_times = []
+
+    def request(arrival):
+        issued_times.append(arrival.time)
+        yield sim.timeout(0.01)
+
+    scenario = OpenLoopScenario(UniformSchedule(100.0), duration=0.5)
+    assert scenario.count is None  # the total is an outcome, not an input
+    stats, elapsed = _drive(sim, scenario, request)
+    # Uniform arrivals every 10ms: 0.0 .. 0.5 inclusive.
+    assert stats.issued == 51
+    assert stats.ok == 51
+    assert max(issued_times) <= 0.5
+    assert elapsed == pytest.approx(0.51)
+
+
+def test_open_loop_duration_with_poisson_is_deterministic():
+    def one_run():
+        sim = Simulator()
+
+        def request(arrival):
+            yield sim.timeout(0.005)
+
+        scenario = OpenLoopScenario(PoissonSchedule(50.0), duration=2.0)
+        stats, elapsed = _drive(sim, scenario, request, seed=11)
+        return stats.issued, stats.latency.state(), elapsed
+
+    first = one_run()
+    assert first == one_run()
+    assert 50 < first[0] < 150  # ~100 expected at rate 50 for 2s
+
+
+def test_closed_loop_duration_stops_on_simulated_time():
+    sim = Simulator()
+    think, service = 0.1, 0.15
+
+    def request(arrival):
+        yield sim.timeout(service)
+
+    scenario = ClosedLoopScenario(clients=2, think_time=think,
+                                  duration=1.0, think="fixed")
+    assert scenario.count is None
+    stats, _elapsed = _drive(sim, scenario, request)
+    # Each client cycles think+service = 0.25s; issues at 0.1, 0.35,
+    # 0.6, 0.85, then the 1.1 think lands past the deadline.
+    assert stats.issued == 8
+    assert stats.ok == 8
+
+
+def test_duration_validation():
+    with pytest.raises(ValueError):
+        OpenLoopScenario(UniformSchedule(1.0))  # neither bound
+    with pytest.raises(ValueError):
+        OpenLoopScenario(UniformSchedule(1.0), 5, duration=1.0)  # both
+    with pytest.raises(ValueError):
+        OpenLoopScenario(UniformSchedule(1.0), duration=-1.0)
+    with pytest.raises(ValueError):
+        ClosedLoopScenario(1, 0.1)  # neither bound
+    with pytest.raises(ValueError):
+        ClosedLoopScenario(1, 0.1, 5, duration=1.0)  # both
+
+
+def test_burst_schedule_refuses_open_ended_runs():
+    sim = Simulator()
+
+    def request(arrival):
+        yield sim.timeout(0.01)
+
+    scenario = OpenLoopScenario(BurstSchedule(), duration=1.0)
+    with pytest.raises(ValueError):
+        sim.run_until_complete(
+            sim.process(scenario.drive(sim, request)), 1e9)
+
+
+# -- zero-request / zero-time soaks report cleanly ---------------------------
+
+def test_empty_load_stats_reports_zeros_not_errors():
+    stats = LoadStats()
+    assert stats.throughput(0.0) == 0.0
+    assert stats.throughput(-1.0) == 0.0
+    assert stats.throughput(10.0) == 0.0
+    summary = stats.summary()
+    assert summary["issued"] == 0 and summary["ok"] == 0
+    assert summary["mean"] == 0.0 and summary["p95"] == 0.0
+    assert stats.latency.mean == 0.0  # no ValueError on empty latency
+
+
+def test_soak_with_zero_completed_requests_yields_clean_report():
+    world, client_host, server_host, _server = _echo_world()
+
+    def request(arrival):
+        yield from ()  # never reached: no arrivals fit the window
+
+    # At 0.001 req/s the first Poisson arrival is ~1000s out — far
+    # beyond the 0.1s duration — so the soak issues nothing.
+    scenario = OpenLoopScenario(PoissonSchedule(0.001), duration=0.1)
+    soak = Soak(world, scenario, request, settle=0.5)
+    report = soak.run()
+    assert report.ok
+    summary = report.summary()
+    assert summary["issued"] == 0 and summary["ok"] == 0
+    assert summary["throughput"] == 0.0
+    assert summary["p95"] == 0.0
+    # The phase table renders (all-zero row, no division errors).
+    assert "steady" in report.phase_table()
+
+
+# -- phase windows around injected faults ------------------------------------
+
+def test_soak_phase_windows_capture_fault_degradation():
+    """p95 latency during the injected partition must exceed the
+    recovered window's, and the phase deltas must sum to run totals."""
+    from repro.sim.rpc import RpcError
+
+    world = World(topology=Topology.balanced(1, 2, 1, 2), seed=21)
+    client_host = world.host("client", "r0/c0/m0/s0")
+    # The preferred replica lives in the country that gets partitioned;
+    # the fallback is local to the client.
+    replica_host = world.host("replica", "r0/c1/m0/s0")
+    fallback_host = world.host("fallback", "r0/c0/m0/s1")
+    for server_host in (replica_host, fallback_host):
+        server = UdpRpcServer(server_host, 5300)
+        server.register("echo", lambda ctx, args: args["x"])
+        server.start()
+    client = UdpRpcClient(client_host, timeout=0.25, retries=3)
+
+    def request(arrival):
+        # Nearest-replica-first with fallback: during the partition
+        # every request burns the replica's retry budget (1.0s) before
+        # completing on the fallback — the latency degradation the
+        # per-phase windows must expose.
+        try:
+            value = yield from client.call(replica_host, 5300, "echo",
+                                           {"x": arrival.index})
+        except RpcError:
+            value = yield from client.call(fallback_host, 5300, "echo",
+                                           {"x": arrival.index})
+        return value == arrival.index
+
+    stats = LoadStats(registry=world.metrics)
+    scenario = OpenLoopScenario(UniformSchedule(20.0), 480)
+    soak = Soak(world, scenario, request, stats=stats, settle=1.0)
+    base = world.now
+    soak.partition(world.topology.domain("r0/c1"), start=base + 2.0,
+                   duration=2.0)
+    report = soak.run()
+
+    assert [w.label for w in report.phases] \
+        == ["pre-fault", "during-fault", "recovered"]
+    rows = {row["phase"]: row for row in report.phase_rows()}
+    during, recovered = rows["during-fault"], rows["recovered"]
+    pre = rows["pre-fault"]
+    assert during["ok"] > 0 and recovered["ok"] > 0
+    # Fault-window completions paid the retry budget before failing
+    # over; after the heal, latency is back at the millisecond floor.
+    assert during["p95"] > 0.9
+    assert during["p95"] > 10 * recovered["p95"]
+    assert during["p95"] > 10 * pre["p95"]
+    # The replica path actually timed out during the fault.
+    assert client.retries_sent > 0 and client.timeouts_hit > 0
+    # Tiling: phase deltas sum exactly to the run totals.
+    assert sum(row["issued"] for row in rows.values()) == stats.issued
+    assert sum(row["ok"] for row in rows.values()) == stats.ok
+    assert sum(row["failed"] for row in rows.values()) == stats.failed
+    latency_counts = [report.phases[i].delta(stats.latency.name).count
+                      for i in range(3)]
+    assert sum(latency_counts) == stats.latency.count
+    # Network counters share the same windows: the fault window saw
+    # dropped messages, the pre-fault window none.
+    assert report.phases[1].delta("net.dropped") > 0
+    assert report.phases[0].delta("net.dropped") == 0
+
+
+# -- the committed trace corpus ----------------------------------------------
+
+def test_bundled_trace_replay_is_deterministic():
+    """Same seed + the committed trace file => identical stats."""
+    from repro.workloads.scenario import bundled_trace
+
+    path = bundled_trace("mixed_small.jsonl")
+    events = load_trace(path)
+    assert len(events) == 80
+    assert {e.kind for e in events} == {"read", "write"}
+
+    topology = Topology.balanced(2, 2, 1, 2)
+
+    def one_run():
+        sim = Simulator()
+        rng = random.Random(5)
+
+        def request(arrival):
+            yield sim.timeout(rng.uniform(0.001, 0.01) * (arrival.rank + 1))
+            return arrival.kind == "read" or arrival.rank % 2 == 0
+
+        scenario = TraceScenario.from_file(path, topology=topology)
+        stats, elapsed = _drive(sim, scenario, request, seed=3)
+        return (stats.issued, stats.ok, stats.failed,
+                stats.latency.state(), elapsed)
+
+    first = one_run()
+    assert first == one_run()
+    assert first[0] == 80
+
+
+def test_bundled_trace_file_not_found():
+    from repro.workloads.scenario import bundled_trace
+    with pytest.raises(FileNotFoundError):
+        bundled_trace("no_such_trace.jsonl")
+
+
+def test_closed_loop_duration_zero_progress_raises_not_hangs():
+    """Zero think time + zero-time requests can never reach a duration
+    deadline; the client must surface the livelock as an error."""
+    sim = Simulator()
+
+    def instant(arrival):
+        return True
+        yield  # pragma: no cover - marks this as a generator
+
+    scenario = ClosedLoopScenario(clients=1, think_time=0.0, duration=1.0)
+    with pytest.raises(ValueError, match="no simulated-time progress"):
+        sim.run_until_complete(
+            sim.process(scenario.drive(sim, instant)), 1e9)
+
+
+def test_soak_phases_exclude_foreign_open_windows():
+    """A phase window left open on the shared registry before the soak
+    (an experiment's setup window) must not leak into report.phases."""
+    world, client_host, server_host, _server = _echo_world()
+    client = UdpRpcClient(client_host)
+    world.metrics.phase("experiment-setup", now=world.now)
+
+    def request(arrival):
+        value = yield from client.call(server_host, 5300, "echo", {"x": 1})
+        return value == 1
+
+    soak = Soak(world, OpenLoopScenario(UniformSchedule(50.0), 10),
+                request, settle=0.0)
+    report = soak.run()
+    assert [w.label for w in report.phases] == ["steady"]
+    # The foreign window was closed and kept, just not attributed.
+    assert [w.label for w in world.metrics.phases] \
+        == ["experiment-setup", "steady"]
+    rows = report.phase_rows()
+    assert sum(row["issued"] for row in rows) == 10
