@@ -1,0 +1,132 @@
+"""End-to-end GDN request-path throughput — the macro trajectory bench.
+
+Where ``bench_kernel_throughput.py`` measures the kernel/RPC substrate
+in isolation, this benchmark grinds the *whole* serving stack the way
+a user download does: browser → access-point HTTPD → Globe Object
+Server (bound through a GLS lookup) → file bytes back.  The workload
+is driven through the scenario engine (an open-loop
+:class:`~repro.workloads.loadgen.UniformSchedule` over every site of
+the topology, one long-lived browser per site), so the measured path
+is exactly the one every figure experiment exercises.
+
+The persisted record (``results/gdn_request_path.json``) carries
+``requests_per_sec`` and ``events_per_sec`` with the same stable keys
+as the kernel records, so ``check_trajectory.py`` gates it alongside
+them: a regression anywhere in the serving stack — transport, RPC
+dispatch, serde charging, GOS/HTTPD handlers — shows up here even
+when the kernel microbenchmarks stay flat.
+
+Setup (deployment build, publication, replication push) is excluded
+from the timed window; the timed window covers the request drive
+only.  The usual cancellation invariant is asserted at the end: after
+the load drains, no stale guard timers may remain in the heap.
+"""
+
+import os
+import time
+
+from conftest import best_of as _best_of, save_json
+
+from repro.gdn.deployment import GdnDeployment
+from repro.gdn.scenario import ReplicationScenario
+from repro.sim.topology import Topology
+from repro.workloads.loadgen import LoadStats, UniformSchedule
+from repro.workloads.packages import synthetic_file
+from repro.workloads.scenario import OpenLoopScenario
+
+# Overridable so CI can run a reduced smoke pass (rates are
+# per-second; committed baselines come from the full-scale defaults).
+GDN_REQUESTS = int(os.environ.get("BENCH_GDN_REQUESTS", 2_000))
+#: Open-loop offered load, requests/second of simulated time.
+GDN_RATE = float(os.environ.get("BENCH_GDN_RATE", 400.0))
+
+PACKAGE = "/apps/devel/HotRelease"
+_FILE = "release.tar.gz"
+
+
+def _build_deployment(seed: int = 23) -> GdnDeployment:
+    """Two regions, one GOS+HTTPD pair each, one replicated package."""
+    topology = Topology.balanced(regions=2, countries=1, cities=1, sites=2)
+    gdn = GdnDeployment(topology=topology, seed=seed, secure=False)
+    for index, region in enumerate(gdn._regions()):
+        gdn.add_gos("gos-%d" % index, next(region.sites()))
+    for index, gos_name in enumerate(sorted(gdn.object_servers)):
+        gdn.add_httpd("httpd-%d" % index, colocate_with=gos_name)
+    gdn.initial_sync()
+    moderator = gdn.add_moderator("mod", "r0/c0/m0/s1")
+
+    def publish():
+        yield from moderator.create_package(
+            PACKAGE, {_FILE: synthetic_file("hot", 8_000)},
+            ReplicationScenario.master_slave(
+                "gos-0", ["gos-1"], cache_ttl=600.0))
+
+    gdn.run(publish(), host=moderator.host)
+    gdn.settle(5.0)
+    return gdn
+
+
+def test_gdn_request_path_throughput(benchmark):
+    """Requests/sec and events/sec for the full download path."""
+
+    def measure():
+        gdn = _build_deployment()
+        world = gdn.world
+        browser_for = gdn.browser_pool("bench")
+
+        def one_request(arrival):
+            response = yield from browser_for(arrival.site).download(
+                PACKAGE, _FILE)
+            return response.ok
+
+        # Warm the serving path once per site before the timed window
+        # (browser channels connected, HTTPDs bound through the GLS):
+        # the record then measures steady-state serving, so the rate
+        # is comparable across request counts (CI runs reduced scale
+        # against the committed full-scale baseline).
+        def warm():
+            for site in world.topology.sites:
+                response = yield from browser_for(site).download(
+                    PACKAGE, _FILE)
+                assert response.ok
+        gdn.run(warm())
+
+        stats = LoadStats(registry=world.metrics, prefix="bench")
+        scenario = OpenLoopScenario(UniformSchedule(GDN_RATE), GDN_REQUESTS,
+                                    sites=world.topology.sites,
+                                    label="gdn-request-path")
+        events_before = world.sim.events_processed
+        started = time.perf_counter()
+        sim_elapsed = gdn.run(
+            scenario.drive(world.sim, one_request,
+                           rng=world.rng_for("bench"), stats=stats),
+            limit=1e9)
+        wall = time.perf_counter() - started
+        events = world.sim.events_processed - events_before
+        assert stats.ok == GDN_REQUESTS, \
+            "every request must succeed (got %d ok / %d failed)" \
+            % (stats.ok, stats.failed)
+        sim = world.sim
+        return ({"requests_per_sec": GDN_REQUESTS / wall,
+                 "events_per_sec": events / wall,
+                 "events_per_request": events / GDN_REQUESTS,
+                 "peak_heap_size": sim.peak_heap_size,
+                 "peak_ready_size": sim.peak_ready_size,
+                 "heap_after_run": sim.heap_size,
+                 "stale_after_run": sim.stale_timer_count,
+                 "sim_throughput_per_sec": stats.throughput(sim_elapsed),
+                 # Simulated user-perceived latency (cost-model trail:
+                 # the serving stack must not drift silently).
+                 "sim_latency_p50_ms": stats.latency.p(50) * 1e3,
+                 "sim_latency_p95_ms": stats.latency.p(95) * 1e3,
+                 "sim_latency_mean_ms": stats.latency.mean * 1e3},
+                stats.ok)
+
+    metrics, served = _best_of(benchmark, measure, "requests_per_sec")
+    # Every RPC on the path cancels its guard timer on completion: a
+    # drained run leaves nothing stale, and the heap stays bounded by
+    # in-flight work (open-loop backlog), not by total requests.
+    assert metrics["stale_after_run"] == 0
+    assert metrics["peak_heap_size"] < GDN_REQUESTS
+    benchmark.extra_info.update(metrics)
+    save_json("gdn_request_path", metrics)

@@ -23,7 +23,7 @@ the ``*_per_sec`` rates.
 import os
 import time
 
-from conftest import save_json
+from conftest import best_of as _best_of, save_json
 
 from repro.analysis.telemetry import MetricsRegistry
 from repro.sim.kernel import Simulator
@@ -37,35 +37,6 @@ from repro.sim.world import World
 CHAIN_EVENTS = int(os.environ.get("BENCH_CHAIN_EVENTS", 50_000))
 CHURN_TIMERS = int(os.environ.get("BENCH_CHURN_TIMERS", 50_000))
 ECHO_CALLS = int(os.environ.get("BENCH_ECHO_CALLS", 2_000))
-BEST_OF = int(os.environ.get("BENCH_BEST_OF", 3))
-
-
-def _best_of(benchmark, measure, primary):
-    """Benchmark single passes; record the fastest pass's metrics.
-
-    Rates on a shared machine are noisy downward only (scheduler
-    preemption can slow a pass, nothing can speed one up), so the
-    trajectory records the best pass, keyed on the ``primary`` rate
-    metric.  Each timed round runs exactly one ``measure()`` pass (so
-    pytest-benchmark's own timing stays honest); if the harness ran
-    fewer than ``BENCH_BEST_OF`` rounds (``--benchmark-disable`` runs
-    just one), extra untimed passes top the sample up.  Returns
-    (best metrics, that pass's return value).
-    """
-    state = {"calls": 0, "metrics": None, "value": None}
-
-    def one_pass():
-        state["calls"] += 1
-        metrics, value = measure()
-        if state["metrics"] is None \
-                or metrics[primary] > state["metrics"][primary]:
-            state["metrics"], state["value"] = metrics, value
-        return value
-
-    benchmark(one_pass)
-    for _ in range(BEST_OF - state["calls"]):
-        one_pass()
-    return state["metrics"], state["value"]
 
 
 def test_event_loop_throughput(benchmark):

@@ -21,6 +21,37 @@ import pathlib
 RESULTS_DIR = pathlib.Path(os.environ.get(
     "BENCH_RESULTS_DIR", pathlib.Path(__file__).parent / "results"))
 
+BEST_OF = int(os.environ.get("BENCH_BEST_OF", 3))
+
+
+def best_of(benchmark, measure, primary, passes=None):
+    """Benchmark single passes; record the fastest pass's metrics.
+
+    Rates on a shared machine are noisy downward only (scheduler
+    preemption can slow a pass, nothing can speed one up), so the
+    trajectory records the best pass, keyed on the ``primary`` rate
+    metric.  Each timed round runs exactly one ``measure()`` pass (so
+    pytest-benchmark's own timing stays honest); if the harness ran
+    fewer than ``passes`` rounds (``--benchmark-disable`` runs just
+    one), extra untimed passes top the sample up.  Returns
+    (best metrics, that pass's return value).
+    """
+    passes = BEST_OF if passes is None else passes
+    state = {"calls": 0, "metrics": None, "value": None}
+
+    def one_pass():
+        state["calls"] += 1
+        metrics, value = measure()
+        if state["metrics"] is None \
+                or metrics[primary] > state["metrics"][primary]:
+            state["metrics"], state["value"] = metrics, value
+        return value
+
+    benchmark(one_pass)
+    for _ in range(passes - state["calls"]):
+        one_pass()
+    return state["metrics"], state["value"]
+
 
 def save_result(name: str, text: str) -> None:
     """Persist a formatted experiment table (and echo it)."""

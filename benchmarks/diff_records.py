@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Cross-PR rate diff: this run's bench records vs a previous run's.
+
+Where ``check_trajectory.py`` *gates* a run against the committed
+baselines, this script only *informs*: CI downloads the most recent
+``bench-records-<sha>`` artifact from an earlier workflow run and
+prints a rate-by-rate diff table next to the trajectory gate, so a
+PR's effect on runner-class numbers is visible without re-running
+anything locally.  It never fails the build — runner classes differ
+between runs, and the comparison is context, not a contract.
+
+Usage::
+
+    python benchmarks/diff_records.py --old <prev-artifact-dir> \
+        --new <fresh-records-dir> [--label-old <sha>] [--label-new <sha>]
+
+Exit status is 0 unless the directories are unusable (2).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional
+
+from check_trajectory import RATE_METRICS
+
+
+def diff_directories(old_dir: pathlib.Path, new_dir: pathlib.Path
+                     ) -> List[dict]:
+    """Rows for every rate metric present in both same-named records."""
+    rows: List[dict] = []
+    for new_path in sorted(new_dir.glob("*.json")):
+        old_path = old_dir / new_path.name
+        status = "" if old_path.exists() else "new benchmark"
+        new_record = json.loads(new_path.read_text())
+        old_record = (json.loads(old_path.read_text())
+                      if old_path.exists() else {})
+        for metric in RATE_METRICS:
+            if metric not in new_record:
+                continue
+            rows.append({
+                "name": new_path.stem,
+                "metric": metric,
+                "old": (float(old_record[metric])
+                        if metric in old_record else None),
+                "new": float(new_record[metric]),
+                "status": status,
+            })
+    for old_path in sorted(old_dir.glob("*.json")):
+        if not (new_dir / old_path.name).exists():
+            rows.append({"name": old_path.stem, "metric": "-",
+                         "old": None, "new": None,
+                         "status": "dropped benchmark"})
+    return rows
+
+
+def format_table(rows: List[dict], label_old: str, label_new: str) -> str:
+    lines = ["cross-PR rate diff: %s -> %s" % (label_old, label_new),
+             "%-24s %-18s %14s %14s %9s" % ("benchmark", "metric",
+                                            label_old[:14], label_new[:14],
+                                            "change")]
+    for row in rows:
+        if row["old"] is None or row["new"] is None:
+            old = "-" if row["old"] is None else "%.0f" % row["old"]
+            new = "-" if row["new"] is None else "%.0f" % row["new"]
+            change = row["status"] or "-"
+            lines.append("%-24s %-18s %14s %14s  %s"
+                         % (row["name"], row["metric"], old, new, change))
+            continue
+        change = (row["new"] / row["old"] - 1.0) if row["old"] else 0.0
+        lines.append("%-24s %-18s %14.0f %14.0f  %+7.1f%%"
+                     % (row["name"], row["metric"], row["old"],
+                        row["new"], change * 100.0))
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="print a cross-PR bench-record rate diff "
+                    "(informational; never fails)")
+    parser.add_argument("--old", required=True, type=pathlib.Path,
+                        help="directory of a previous run's *.json records")
+    parser.add_argument("--new", required=True, type=pathlib.Path,
+                        help="directory of this run's *.json records")
+    parser.add_argument("--label-old", default="previous")
+    parser.add_argument("--label-new", default="this run")
+    args = parser.parse_args(argv)
+    if not args.old.is_dir() or not args.new.is_dir():
+        print("error: --old and --new must be directories",
+              file=sys.stderr)
+        return 2
+    rows = diff_directories(args.old, args.new)
+    if not rows:
+        print("no comparable *.json records found")
+        return 0
+    print(format_table(rows, args.label_old, args.label_new))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

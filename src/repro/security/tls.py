@@ -43,6 +43,11 @@ __all__ = ["SecureChannel", "SecurityError", "HandshakeError", "CostModel",
 
 _MAC_SIZE = 32
 _RECORD_OVERHEAD = 5  # TLS record header
+#: Upper bound on a record's carried wire size ("w") the receiver
+#: will believe without re-measuring — comfortably above any honest
+#: record in this reproduction, far below what a spoofed declared
+#: size would need to stall a recv pump meaningfully.
+_MAX_CARRIED_RECORD_SIZE = 1 << 24  # 16 MiB
 
 
 class SecurityError(Exception):
@@ -124,7 +129,13 @@ class SecureChannel:
         wire = body + _MAC_SIZE + _RECORD_OVERHEAD
         self._seq_out += 1
         mac = self._mac(self._send_key, self._seq_out, payload)
-        frame = {"s": self._seq_out, "p": payload, "m": mac}
+        # The record carries its own wire size ("w"): the sender
+        # already measured the payload once, so the receiving pump
+        # charges CPU from the carried size instead of re-walking the
+        # nested payload per record.  ("w" is framing metadata — it is
+        # not covered by the MAC; the receiver sanity-bounds it and
+        # falls back to an honest walk when it is missing or forged.)
+        frame = {"s": self._seq_out, "p": payload, "m": mac, "w": wire}
         self._outbox.put((frame, wire))
         return wire
 
@@ -185,7 +196,17 @@ class SecureChannel:
             except ConnectionClosed:
                 self._inbox.put(_EOF)
                 return
-            size = encoded_size(frame)
+            # Trust the carried size only inside a sane range: "w" is
+            # not MAC-covered, so an on-path attacker could otherwise
+            # declare a petabyte record (stalling this pump — and all
+            # legitimate records behind it — on a fabricated CPU
+            # charge) or a negative one (free processing).  Out-of-
+            # range or missing values pay the honest walk of what was
+            # actually received, which an attacker cannot inflate.
+            size = (frame.get("w") if isinstance(frame, dict) else None)
+            if not (isinstance(size, int)
+                    and 0 <= size <= _MAX_CARRIED_RECORD_SIZE):
+                size = encoded_size(frame)
             cost = self.costs.record_cost(size, self.encryption)
             if cost > 0:
                 yield self.sim.timeout(cost)

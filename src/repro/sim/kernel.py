@@ -18,12 +18,22 @@ Because every RPC, retry and lease in the reproduction runs through
 this loop, the kernel is the hottest code in the repo and is tuned
 accordingly:
 
+* The scheduler is **two queues**: a FIFO *run queue*
+  (:class:`collections.deque`) for events that fire at the current
+  instant — every ``Event.succeed``/``fail``, ``Store`` hand-off and
+  RPC completion — and a timer *heap* for events with a real delay.
+  A zero-delay cascade costs an O(1) append/popleft per event instead
+  of an O(log n) ``heappush``+``heappop`` against the timer heap.
+  The two queues are merged by the global sequence number when a
+  timer ties the current instant, so the documented ``(time, seq)``
+  semantics are preserved exactly (see :class:`Simulator`).
 * ``Event``/``Timeout``/``Process`` (and the ``Store``/``Resource``
   primitives) declare ``__slots__`` — no per-instance ``__dict__`` on
   the millions of short-lived objects a large run creates.
 * ``Store`` and ``Resource`` keep their FIFO queues in
   :class:`collections.deque`, so serving a waiter is O(1) instead of
-  the O(n) ``list.pop(0)``.
+  the O(n) ``list.pop(0)``; a ``put`` with a parked getter hands the
+  item straight to it (no queue round-trip).
 * Telemetry is pull-only: the kernel keeps plain ``int`` counters
   (events processed, timers scheduled/cancelled) and
   :meth:`Simulator.bind_metrics` exposes them as function-backed
@@ -136,7 +146,7 @@ class Event:
 
     def succeed(self, value: Any = None) -> "Event":
         """Trigger the event successfully with ``value``."""
-        if self.triggered:
+        if self._value is not _PENDING:  # inline `triggered` (hot path)
             raise SimulationError("event already triggered")
         self._ok = True
         self._value = value
@@ -145,7 +155,7 @@ class Event:
 
     def fail(self, exception: BaseException) -> "Event":
         """Trigger the event with a failure carrying ``exception``."""
-        if self.triggered:
+        if self._value is not _PENDING:  # inline `triggered` (hot path)
             raise SimulationError("event already triggered")
         if not isinstance(exception, BaseException):
             raise SimulationError("fail() requires an exception instance")
@@ -323,7 +333,7 @@ class Process(Event):
         self._step(event)
 
     def _step(self, event: Event) -> None:
-        if self.triggered:
+        if self._value is not _PENDING:  # inline `triggered` (hot path)
             return
         try:
             if event._ok:
@@ -416,7 +426,10 @@ class Store:
     item is available.  Items are delivered in FIFO order to getters in
     FIFO order, which keeps message channels deterministic.  Both
     queues are deques, so a put/get pair is O(1) however deep the
-    backlog grows.
+    backlog grows, and the hand-off is direct: a ``put`` with a parked
+    getter succeeds that getter immediately (no re-dispatch loop), a
+    ``get`` against a backlog takes the head item straight away.  At
+    most one queue is non-empty at any time.
     """
 
     __slots__ = ("sim", "_items", "_getters")
@@ -430,21 +443,21 @@ class Store:
         return len(self._items)
 
     def put(self, item: Any) -> None:
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._value is _PENDING:  # inline `triggered` (hot)
+                getter.succeed(item)
+                return
         self._items.append(item)
-        self._dispatch()
 
     def get(self) -> Event:
         event = Event(self.sim)
-        self._getters.append(event)
-        self._dispatch()
+        if self._items:
+            event.succeed(self._items.popleft())
+        else:
+            self._getters.append(event)
         return event
-
-    def _dispatch(self) -> None:
-        while self._items and self._getters:
-            getter = self._getters.popleft()
-            if getter.triggered:
-                continue
-            getter.succeed(self._items.popleft())
 
 
 class Resource:
@@ -491,38 +504,57 @@ class Resource:
 
 
 class Simulator:
-    """The event loop: a priority queue of triggered events.
+    """The event loop: a run queue of same-instant events + a timer heap.
 
-    Heap entries are mutable ``[time, seq, event]`` lists so that a
-    cancelled timer can be invalidated *in place* (the event slot is
-    blanked to ``None``) without the O(n) cost of removing it from the
-    middle of the heap.  Blanked entries are discarded when they reach
-    the top; when they outnumber live entries the whole heap is
-    compacted in one O(n) pass, keeping the amortised cost of a
-    cancellation O(1).
+    **Two queues, one ordering.**  Triggered events (``succeed`` /
+    ``fail`` — everything that fires *now*) go to a FIFO run queue of
+    ``(seq, event)`` tuples; :class:`Timeout`\\ s go to a heap of
+    ``[time, seq, event]`` entries.  Both draw sequence numbers from
+    one global counter, and the scheduler always fires the event with
+    the smallest ``(time, seq)`` pair across both queues: run-queue
+    entries carry the instant they were enqueued at (which is always
+    the current ``now`` — the clock cannot advance past a pending
+    run-queue event), so a timer that ties the current instant is
+    merged in by comparing sequence numbers.  Two events scheduled for
+    the same instant therefore fire in the order they were scheduled,
+    exactly as with the previous single-heap scheduler — but a
+    zero-delay cascade costs O(1) per event instead of O(log n).
+
+    Heap entries are mutable lists so that a cancelled timer can be
+    invalidated *in place* (the event slot is blanked to ``None``)
+    without the O(n) cost of removing it from the middle of the heap.
+    Blanked entries are discarded when they reach the top; when they
+    outnumber live entries the whole heap is compacted in one O(n)
+    pass, keeping the amortised cost of a cancellation O(1).  Run-queue
+    entries are never cancelled (only pending timers are), so the run
+    queue needs no invalidation machinery.  Compaction replaces the
+    heap list, so the execution loops re-read ``self._heap`` every
+    iteration; the run queue is only ever mutated in place.
     """
 
     def __init__(self):
         self.now: float = 0.0
         self._heap: list = []
+        self._ready: deque = deque()
         self._sequence = itertools.count()
         self._event_count = 0
         self._stale = 0
         self._timers_scheduled = 0
         self._timers_cancelled = 0
         self.peak_heap_size = 0
+        self.peak_ready_size = 0
 
     # -- scheduling ---------------------------------------------------
 
-    def _enqueue(self, event: Event, delay: float = 0.0) -> list:
-        entry = [self.now + delay, next(self._sequence), event]
-        heappush(self._heap, entry)
-        if len(self._heap) > self.peak_heap_size:
-            self.peak_heap_size = len(self._heap)
-        return entry
+    def _enqueue(self, event: Event) -> None:
+        # The zero-delay fast path: every succeed()/fail() lands here.
+        ready = self._ready
+        ready.append((next(self._sequence), event))
+        if len(ready) > self.peak_ready_size:
+            self.peak_ready_size = len(ready)
 
     def _enqueue_abs(self, event: Event, when: float) -> list:
-        # All Timeouts come through here; plain events via _enqueue.
+        # All Timeouts come through here; triggered events via _enqueue.
         self._timers_scheduled += 1
         entry = [when, next(self._sequence), event]
         heappush(self._heap, entry)
@@ -587,6 +619,9 @@ class Simulator:
         registry.gauge(prefix + ".stale_timers", fn=lambda: self._stale)
         registry.gauge(prefix + ".peak_heap_size",
                        fn=lambda: self.peak_heap_size)
+        registry.gauge(prefix + ".ready_size", fn=lambda: self.ready_size)
+        registry.gauge(prefix + ".peak_ready_size",
+                       fn=lambda: self.peak_ready_size)
 
     # -- execution ----------------------------------------------------
 
@@ -611,8 +646,13 @@ class Simulator:
 
     @property
     def heap_size(self) -> int:
-        """Live (non-cancelled) entries currently in the event heap."""
+        """Live (non-cancelled) entries currently in the timer heap."""
         return len(self._heap) - self._stale
+
+    @property
+    def ready_size(self) -> int:
+        """Same-instant events currently waiting in the run queue."""
+        return len(self._ready)
 
     def _discard_stale_head(self) -> None:
         heap = self._heap
@@ -622,17 +662,41 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next event, or ``inf`` if none are scheduled."""
+        if self._ready:
+            # Run-queue events always fire at the current instant.
+            return self.now
         self._discard_stale_head()
         return self._heap[0][0] if self._heap else float("inf")
 
+    # The event-processing body is deliberately duplicated inline in
+    # step() / run() / run_until_complete(): this is the hottest code
+    # in the repo and a shared helper would cost a Python call per
+    # event.  Keep the three copies textually identical.
+
     def step(self) -> None:
-        """Process exactly one event (skipping cancelled timers)."""
+        """Process exactly one event (skipping cancelled timers).
+
+        Raises ``IndexError`` when nothing is scheduled at all, as the
+        single-heap scheduler did.
+        """
+        ready = self._ready
         heap = self._heap
-        when, _seq, event = heappop(heap)
-        while event is None:
+        while heap and heap[0][2] is None:
+            heappop(heap)
             self._stale -= 1
+        if ready:
+            head = heap[0] if heap else None
+            # A timer that ties the current instant fires first only
+            # if it was scheduled first (smaller sequence number).
+            if head is not None and head[0] <= self.now \
+                    and head[1] < ready[0][0]:
+                heappop(heap)
+                event = head[2]
+            else:
+                event = ready.popleft()[1]
+        else:
             when, _seq, event = heappop(heap)
-        self.now = when
+            self.now = when
         if event._value is _PENDING:  # self-triggering event (Timeout)
             event._ok = True
             event._value = event._auto_value
@@ -646,29 +710,52 @@ class Simulator:
             raise event._value
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the queue is empty or ``sim.now`` would pass ``until``.
+        """Run until the queues are empty or ``sim.now`` would pass
+        ``until``.
 
         When stopped by ``until`` the clock is advanced exactly to it,
         so follow-up ``run`` calls observe a consistent timeline.
         """
         if until is not None and until < self.now:
             raise SimulationError("cannot run backwards in time")
-        step = self.step
+        ready = self._ready
         # Re-read self._heap each iteration: cancellation may compact
-        # it (replacing the list) from inside an event callback.
+        # it (replacing the list) from inside an event callback.  The
+        # run queue is mutated in place only, so the local is safe.
         while True:
             heap = self._heap
-            if not heap:
-                break
-            head = heap[0]
-            if head[2] is None:
+            head = heap[0] if heap else None
+            if head is not None and head[2] is None:
                 heappop(heap)
                 self._stale -= 1
                 continue
-            if until is not None and head[0] > until:
-                self.now = until
-                return
-            step()
+            if ready:
+                if head is not None and head[0] <= self.now \
+                        and head[1] < ready[0][0]:
+                    heappop(heap)
+                    event = head[2]
+                else:
+                    event = ready.popleft()[1]
+            elif head is not None:
+                if until is not None and head[0] > until:
+                    self.now = until
+                    return
+                heappop(heap)
+                self.now = head[0]
+                event = head[2]
+            else:
+                break
+            if event._value is _PENDING:  # self-triggering (Timeout)
+                event._ok = True
+                event._value = event._auto_value
+                event._entry = None
+            callbacks = event.callbacks
+            event.callbacks = None
+            self._event_count += 1
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         if until is not None:
             self.now = until
 
@@ -677,17 +764,42 @@ class Simulator:
         """Run until ``process`` finishes and return its value.
 
         ``limit`` guards against deadlocked protocols in tests: if the
-        event queue drains or time passes ``limit`` first, a
+        event queues drain or time passes ``limit`` first, a
         :class:`SimulationError` is raised.
         """
-        step = self.step
-        while not process.triggered:
+        ready = self._ready
+        # `process._value is _PENDING` inlines `not process.triggered`:
+        # this check runs once per processed event.
+        while process._value is _PENDING:
             heap = self._heap
-            while heap and heap[0][2] is None:
+            head = heap[0] if heap else None
+            if head is not None and head[2] is None:
                 heappop(heap)
                 self._stale -= 1
-            if not heap or heap[0][0] > limit:
+                continue
+            if ready and self.now <= limit:
+                if head is not None and head[0] <= self.now \
+                        and head[1] < ready[0][0]:
+                    heappop(heap)
+                    event = head[2]
+                else:
+                    event = ready.popleft()[1]
+            elif head is not None and head[0] <= limit:
+                heappop(heap)
+                self.now = head[0]
+                event = head[2]
+            else:
                 raise SimulationError(
                     "process did not complete (deadlock or time limit)")
-            step()
+            if event._value is _PENDING:  # self-triggering (Timeout)
+                event._ok = True
+                event._value = event._auto_value
+                event._entry = None
+            callbacks = event.callbacks
+            event.callbacks = None
+            self._event_count += 1
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
         return process.value

@@ -26,7 +26,7 @@ from __future__ import annotations
 import random
 from typing import Callable, Dict, Optional
 
-from .kernel import Simulator
+from .kernel import Simulator, Timeout
 from .topology import Domain, Level, Topology
 
 __all__ = ["LinkParameters", "TrafficMeter", "Network", "NetworkError"]
@@ -234,11 +234,17 @@ class Network:
     # -- delivery ------------------------------------------------------
 
     def deliver(self, src_site: Domain, dst_site: Domain, dst_host: str,
-                size: int, deliver_fn: Callable[[], None],
+                size: int, deliver_fn: Callable,
                 reliable: bool = False,
                 extra_delay: float = 0.0,
                 at: Optional[float] = None) -> bool:
         """Schedule ``deliver_fn`` after the computed delay.
+
+        ``deliver_fn`` is installed directly as the arrival timer's
+        callback, so it is invoked with one argument — the fired timer
+        event, which callers ignore.  (Wrapping a zero-argument
+        callable in a lambda here would cost an allocation and an
+        extra call per message on the hottest path in the repo.)
 
         Returns ``True`` if the message was scheduled, ``False`` if it
         was dropped (destination down, partition, or random loss).
@@ -252,12 +258,18 @@ class Network:
         jitter draw, or even one float-rounding ULP — could reorder
         messages the caller carefully sequenced.
         """
-        level = self.separation(src_site, dst_site)
+        # Inline separation(): one dict probe per message in the common
+        # (warm-cache) case.
+        key = (id(src_site), id(dst_site))
+        level = self._separation_cache.get(key)
+        if level is None:
+            level = Topology.separation(src_site, dst_site)
+            self._separation_cache[key] = level
         self.meter.record(level, size)
-        if self.host_is_down(dst_host):
+        if dst_host in self._down_hosts:
             self.meter.record_drop()
             return False
-        if self._crosses_partition(src_site, dst_site):
+        if self._partitioned and self._crosses_partition(src_site, dst_site):
             self.meter.record_drop()
             return False
         params = self.params
@@ -266,12 +278,12 @@ class Network:
             self.meter.record_drop()
             return False
         if at is not None:
-            timer = self.sim.timeout_at(at)
+            timer = Timeout(self.sim, 0.0, at=at)
         else:
             # Inline transfer_delay: the level is already in hand.
             delay = params.latency[level] + size / params.bandwidth[level]
             if params.jitter_fraction:
                 delay *= 1.0 + self.rng.uniform(0, params.jitter_fraction)
-            timer = self.sim.timeout(delay + extra_delay)
-        timer.add_callback(lambda _event: deliver_fn())
+            timer = Timeout(self.sim, delay + extra_delay)
+        timer.add_callback(deliver_fn)
         return True

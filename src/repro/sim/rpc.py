@@ -25,6 +25,14 @@ each call arms one guard :class:`~repro.sim.kernel.Timeout` that fails
 the reply waiter if it expires, and *cancels* it the moment the reply
 arrives — a successful call leaves nothing behind in the event heap.
 
+Envelope sizes are **memoised**: request and reply envelopes have a
+fixed dict shape, so their wire size is a precomputed constant plus
+one measurement of the variable payload (args / value / error),
+computed once per envelope and carried to the transport as an
+explicit ``size=`` — the nested dict is never re-walked at a charging
+point, and UDP retries re-send a same-sized envelope without
+re-measuring.
+
 Telemetry: servers and clients keep plain-int counters on the hot path
 (``requests_served``; ``calls``/``retries``/``timeouts``/``faults``)
 and expose them to a :class:`~repro.analysis.telemetry
@@ -39,6 +47,7 @@ import itertools
 from typing import Any, Callable, Dict, Generator, Optional
 
 from .kernel import Event, Simulator
+from .serde import CONTAINER_ITEM_OVERHEAD, SCALAR_SIZE, encoded_size
 from .transport import (Connection, ConnectionClosed, Host, TransportError,
                         UdpSocket)
 
@@ -55,6 +64,47 @@ __all__ = [
 ]
 
 _request_ids = itertools.count(1)
+
+# -- size-memoised envelopes ------------------------------------------------
+#
+# Every RPC envelope is a flat dict whose key strings and scalar fields
+# never vary, so their encoded size is a compile-time constant; only
+# the variable fields (method, src, args / value / error) need
+# measuring, and each is measured exactly once per envelope.  The
+# resulting size is handed to the transport as an explicit ``size=``,
+# so the nested request/reply dict is never re-walked at a charging
+# point (and a UDP retry re-sends a same-sized envelope without
+# re-measuring the args).  The constants must mirror
+# :func:`repro.sim.serde.encoded_size` exactly — tests/sim/test_rpc.py
+# pins them against a live walk of real envelopes.
+
+_ITEM = CONTAINER_ITEM_OVERHEAD
+#: {"id": <int>, "method": ..., "args": ..., "src": ...}
+_REQUEST_BASE = (len("id") + len("method") + len("args") + len("src")
+                 + SCALAR_SIZE + 4 * 2 * _ITEM)
+#: {"id": <int>, "ok": <bool>, "value"/"error": ...} (bools encode as 1)
+_REPLY_OK_BASE = (len("id") + len("ok") + len("value")
+                  + SCALAR_SIZE + 1 + 3 * 2 * _ITEM)
+_REPLY_ERR_BASE = (len("id") + len("ok") + len("error")
+                   + SCALAR_SIZE + 1 + 3 * 2 * _ITEM)
+
+
+def _request_size(method: str, src: str, args_size: int) -> int:
+    """Encoded size of a request envelope, measuring only ``method``
+    and ``src`` (``args`` was measured once by the caller)."""
+    return (_REQUEST_BASE + encoded_size(method) + encoded_size(src)
+            + args_size)
+
+
+def _reply_size(reply: dict) -> int:
+    """Encoded size of a reply envelope, walking only the payload."""
+    if type(reply.get("id")) is not int:
+        # Malformed request: the echoed id may be None — fall back to
+        # the honest full walk rather than special-casing rarities.
+        return encoded_size(reply)
+    if reply["ok"]:
+        return _REPLY_OK_BASE + encoded_size(reply["value"])
+    return _REPLY_ERR_BASE + encoded_size(reply["error"])
 
 
 class RpcError(Exception):
@@ -232,7 +282,7 @@ class RpcServer:
                          "error": (type(exc).__name__, str(exc))}
         self.requests_served += 1
         try:
-            conn.send(reply)
+            conn.send(reply, size=_reply_size(reply))
         except ConnectionClosed:
             pass
 
@@ -297,8 +347,12 @@ class RpcChannel:
              ) -> Generator[Event, Any, Any]:
         """``value = yield from channel.call("method", {...})``."""
         request_id = next(_request_ids)
+        args = args if args is not None else {}
         request = {"id": request_id, "method": method,
-                   "args": args or {}, "src": self.host.name}
+                   "args": args, "src": self.host.name}
+        if size is None:
+            size = _request_size(method, self.host.name,
+                                 encoded_size(args))
         self.calls += 1
         waiter = self.sim.event()
         self._pending[request_id] = waiter
@@ -450,7 +504,8 @@ class UdpRpcServer:
     def _reply(self, datagram, reply: dict) -> None:
         self.requests_served += 1
         if self._socket is not None and not self._socket.closed:
-            self._socket.send_to(datagram.src_host, datagram.src_port, reply)
+            self._socket.send_to(datagram.src_host, datagram.src_port, reply,
+                                 size=_reply_size(reply))
 
 
 class UdpRpcClient:
@@ -524,16 +579,20 @@ class UdpRpcClient:
         """
         self._ensure_open()
         self.calls += 1
+        args = args if args is not None else {}
+        # Measured once; every retry re-sends a same-sized envelope
+        # (the fresh id is an int like the last one).
+        size = _request_size(method, self.host.name, encoded_size(args))
         last_error: Optional[Exception] = None
         for attempt in range(1 + self.retries):
             if attempt:
                 self.retries_sent += 1
             request_id = next(_request_ids)
             request = {"id": request_id, "method": method,
-                       "args": args or {}, "src": self.host.name}
+                       "args": args, "src": self.host.name}
             waiter = self.sim.event()
             self._pending[request_id] = waiter
-            self._socket.send_to(dst, port, request)
+            self._socket.send_to(dst, port, request, size=size)
             deadline = _arm_deadline(self.sim, waiter, self.timeout)
             try:
                 value = yield waiter

@@ -14,14 +14,23 @@ from __future__ import annotations
 
 from typing import Any
 
-__all__ = ["encoded_size", "HEADER_OVERHEAD"]
+__all__ = ["encoded_size", "HEADER_OVERHEAD", "SCALAR_SIZE",
+           "CONTAINER_ITEM_OVERHEAD"]
 
 #: Fixed per-message framing overhead (addresses, ports, type tags),
 #: roughly an IP+TCP/UDP header plus a small record header.
 HEADER_OVERHEAD = 64
 
-_SCALAR_SIZE = 8
-_CONTAINER_ITEM_OVERHEAD = 4
+#: Cost of an int/float scalar.  Public so callers with fixed-shape
+#: envelopes (the RPC layer) can precompute the constant part of a
+#: message's size instead of re-walking the nested dict per message.
+SCALAR_SIZE = 8
+#: Per-item overhead inside containers (dict entries pay it twice:
+#: once for the key, once for the value).
+CONTAINER_ITEM_OVERHEAD = 4
+
+_SCALAR_SIZE = SCALAR_SIZE
+_CONTAINER_ITEM_OVERHEAD = CONTAINER_ITEM_OVERHEAD
 
 
 def encoded_size(value: Any) -> int:

@@ -185,11 +185,11 @@ class Host:
         self._require_up()
         reply: Event = self.sim.event()
 
-        def on_syn_arrival() -> None:
+        def on_syn_arrival(_event) -> None:
             listener = dst._tcp_listeners.get(port) if dst.up else None
 
             def deliver_reply(accept: bool) -> None:
-                def on_reply() -> None:
+                def on_reply(_event) -> None:
                     if reply.triggered:
                         return
                     if accept:
@@ -251,11 +251,12 @@ class UdpSocket:
         """Fire-and-forget datagram; may be silently lost."""
         if self.closed:
             raise TransportError("socket is closed")
-        self.host._require_up()
+        if not self.host.up:  # inline _require_up (per-datagram path)
+            raise HostDown("host %s is down" % self.host.name)
         wire = (size if size is not None else encoded_size(payload))
         wire += HEADER_OVERHEAD
 
-        def deliver() -> None:
+        def deliver(_event) -> None:
             target = dst._udp_ports.get(dst_port)
             if target is not None and not target.closed and dst.up:
                 target._inbox.put(
@@ -326,7 +327,8 @@ class Connection:
         """
         if self.closed or self.broken:
             raise ConnectionClosed("send on closed connection %r" % self)
-        self.local._require_up()
+        if not self.local.up:  # inline _require_up (per-message path)
+            raise HostDown("host %s is down" % self.local.name)
         wire = (size if size is not None else encoded_size(payload))
         wire += HEADER_OVERHEAD
         if self.local.network.host_is_down(self.remote.name):
@@ -335,7 +337,7 @@ class Connection:
         self.bytes_sent += wire
         peer = self._peer
 
-        def deliver() -> None:
+        def deliver(_event) -> None:
             if peer is not None and not peer.closed and peer.local.up:
                 peer.bytes_received += wire
                 peer._inbox.put(payload)
@@ -370,6 +372,19 @@ class Connection:
         if self.closed:
             result.fail(ConnectionClosed("recv on closed connection"))
             return result
+        # Fast path: the inbox has a backlog, so no getter is parked
+        # (Store keeps at most one side non-empty) and the head item is
+        # ours — trigger the result directly instead of allocating a
+        # wrapper Store event plus a relay callback per message.
+        backlog = self._inbox._items
+        if backlog:
+            item = backlog[0]
+            if item is _EOF:  # left in place: every later recv sees it
+                result.fail(ConnectionClosed("peer closed %r" % self))
+            else:
+                backlog.popleft()
+                result.succeed(item)
+            return result
         inner = self._inbox.get()
 
         def on_item(event: Event) -> None:
@@ -377,7 +392,18 @@ class Connection:
                 return
             item = event._value
             if item is _EOF:
-                self._inbox.put(_EOF)  # subsequent recv() sees EOF too
+                # Subsequent recv() must see EOF too.  Hand it to the
+                # next parked getter if one is waiting; otherwise
+                # re-queue it at the *head* — the same place the fast
+                # path leaves it — so an abrupt _break()'s EOF keeps
+                # outranking any straggler delivered behind it (once
+                # broken, every later recv fails; stragglers after a
+                # crash are dropped, not resurrected).
+                inbox = self._inbox
+                if inbox._getters:
+                    inbox.put(_EOF)
+                else:
+                    inbox._items.appendleft(_EOF)
                 result.fail(ConnectionClosed("peer closed %r" % self))
             else:
                 result.succeed(item)
@@ -400,7 +426,7 @@ class Connection:
             arrival = max(self.sim.now + base_delay, self._next_arrival)
             network.deliver(self.local.site, self.remote.site,
                             self.remote.name, HEADER_OVERHEAD,
-                            lambda: peer._inbox.put(_EOF)
+                            lambda _event: peer._inbox.put(_EOF)
                             if not peer.closed else None,
                             reliable=True, at=arrival)
         if self in self.local._connections:

@@ -244,9 +244,25 @@ class Scenario:
     processes that jointly drive the load; :meth:`drive` is the
     engine: it spawns them, waits for all of them (and their
     in-flight requests), and returns the elapsed simulated seconds.
+
+    Any scenario can carry **phase marks** (:attr:`phases`, exposed as
+    a ``phases=`` constructor argument on the open- and closed-loop
+    scenarios): a sequence of ``(offset_seconds, label)`` pairs, each
+    opening a named phase window on the stats bundle's
+    :class:`~repro.analysis.telemetry.MetricsRegistry` that many
+    seconds after the drive starts.  Consecutive marks tile the run
+    exactly like a :class:`Soak`'s automatic fault slicing — but
+    without having to wrap the scenario in a ``Soak`` — so
+    ``stats.phase_summary(window)`` can answer "what was p95 during
+    the spike?" for a plain load run.  The windows land in
+    ``stats.registry.phases`` when the drive finishes (a phase someone
+    else left open is closed first, and marks beyond the end of the
+    run are dropped).
     """
 
     label = "scenario"
+    #: Optional ``[(offset_seconds, label), ...]`` phase marks.
+    phases: Optional[List[Tuple[float, str]]] = None
 
     def build(self, sim: Simulator, request: RequestFn,
               rng: random.Random, stats: LoadStats) -> List[Generator]:
@@ -261,11 +277,50 @@ class Scenario:
         rng = rng if rng is not None else random.Random(0)
         stats = stats if stats is not None else LoadStats()
         start = sim.now
+        phase_proc = None
+        if self.phases:
+            # Close any foreign open phase so this scenario's windows
+            # are cleanly attributable (mirrors Soak.run).  Spawned
+            # *before* the load drivers: an offset-0 mark must open
+            # its window before the first arrival is issued.
+            stats.registry.end_phase(now=sim.now)
+            phase_proc = sim.process(
+                self._phase_driver(sim, stats.registry, start))
         processes = [sim.process(driver)
                      for driver in self.build(sim, request, rng, stats)]
         for process in processes:
             yield process
+        if phase_proc is not None:
+            if phase_proc.alive:  # marks beyond the end of the run
+                phase_proc.kill()
+            stats.registry.end_phase(now=sim.now)
         return sim.now - start
+
+    def _phase_driver(self, sim: Simulator, registry,
+                      start: float) -> Generator:
+        for offset, label in self.phases:
+            when = start + offset
+            if when > sim.now:
+                yield sim.timeout_at(when)
+            registry.phase(label, now=sim.now)
+
+    @staticmethod
+    def _validated_phases(
+            phases: Optional[Sequence[Tuple[float, str]]]
+    ) -> Optional[List[Tuple[float, str]]]:
+        """Normalise ``phases=``: non-negative offsets, sorted."""
+        if phases is None:
+            return None
+        marks: List[Tuple[float, str]] = []
+        for offset, label in phases:
+            offset = float(offset)
+            if offset < 0:
+                raise ValueError("phase offsets are relative to the "
+                                 "start of the drive; %r is negative"
+                                 % offset)
+            marks.append((offset, str(label)))
+        marks.sort(key=lambda mark: mark[0])
+        return marks or None
 
     @staticmethod
     def _fork(rng: random.Random) -> random.Random:
@@ -287,6 +342,10 @@ class OpenLoopScenario(Scenario):
     or ``duration`` (arrivals until that much simulated time has
     passed — open-ended soaks stop on the clock; :attr:`count` is then
     ``None`` because the total is an outcome of the run).
+
+    ``phases=[(0.0, "warmup"), (5.0, "spike"), ...]`` marks named
+    telemetry phase windows at offsets from the start of the drive —
+    no :class:`Soak` wrapper needed (see :class:`Scenario`).
     """
 
     def __init__(self, schedule: ArrivalSchedule, count: Optional[int] = None,
@@ -294,7 +353,8 @@ class OpenLoopScenario(Scenario):
                  mix: Optional[RequestMix] = None,
                  popularity: Optional[Any] = None,
                  label: str = "open-loop",
-                 duration: Optional[float] = None):
+                 duration: Optional[float] = None,
+                 phases: Optional[Sequence[Tuple[float, str]]] = None):
         if (count is None) == (duration is None):
             raise ValueError("bound the scenario with either count "
                              "or duration")
@@ -307,6 +367,9 @@ class OpenLoopScenario(Scenario):
         self.mix = mix
         self.popularity = popularity
         self.label = label
+        #: ``[(offset, label), ...]`` marks opening named phase
+        #: windows on the stats registry (see :class:`Scenario`).
+        self.phases = self._validated_phases(phases)
 
     def build(self, sim: Simulator, request: RequestFn,
               rng: random.Random, stats: LoadStats) -> List[Generator]:
@@ -414,6 +477,9 @@ class ClosedLoopScenario(Scenario):
     ``duration`` (clients keep looping until that much simulated time
     has passed, then finish their in-flight request and stop — the
     open-ended soak mode; :attr:`count` is then ``None``).
+
+    ``phases=`` marks named telemetry phase windows at offsets from
+    the start of the drive, as on :class:`OpenLoopScenario`.
     """
 
     def __init__(self, clients: int, think_time: float,
@@ -422,7 +488,8 @@ class ClosedLoopScenario(Scenario):
                  mix: Optional[RequestMix] = None,
                  think: str = "exponential",
                  label: str = "closed-loop",
-                 duration: Optional[float] = None):
+                 duration: Optional[float] = None,
+                 phases: Optional[Sequence[Tuple[float, str]]] = None):
         if clients < 1:
             raise ValueError("need at least one client")
         if (requests_per_client is None) == (duration is None):
@@ -444,6 +511,9 @@ class ClosedLoopScenario(Scenario):
         self.mix = mix
         self.think = think
         self.label = label
+        #: ``[(offset, label), ...]`` marks opening named phase
+        #: windows on the stats registry (see :class:`Scenario`).
+        self.phases = self._validated_phases(phases)
 
     @property
     def count(self) -> Optional[int]:
@@ -614,7 +684,10 @@ class Soak:
     faults before :meth:`run`; times are absolute simulation times)
     and named invariant checks evaluated after the load drains and the
     system settles.  An invariant is a callable returning ``False`` or
-    raising to signal violation; anything else passes.
+    raising to signal violation; anything else passes.  Invariants may
+    be **window-scoped** (``invariant(..., phase="during-fault")``):
+    the check then receives that phase's closed window and can assert
+    on in-window deltas instead of run totals.
 
     The run is automatically sliced into phase windows on the stats
     bundle's registry: ``pre-fault`` until the first scheduled fault
@@ -639,7 +712,7 @@ class Soak:
             else LoadStats(registry=world.metrics)
         self.settle = settle
         self.injector = FailureInjector(world)
-        self.invariants: List[Tuple[str, Callable[[], Any]]] = []
+        self.invariants: List[Tuple[str, Callable, Optional[str]]] = []
         self._fault_spans: List[Tuple[float, float]] = []
         self._extra_marks: List[Tuple[float, str]] = []
 
@@ -661,8 +734,21 @@ class Soak:
 
     # -- invariants ------------------------------------------------------
 
-    def invariant(self, name: str, check: Callable[[], Any]) -> None:
-        self.invariants.append((name, check))
+    def invariant(self, name: str, check: Callable,
+                  phase: Optional[str] = None) -> None:
+        """Register an invariant checked after the run settles.
+
+        Plain invariants take no arguments.  With ``phase=`` the
+        invariant is **window-scoped**: ``check`` receives the closed
+        :class:`~repro.analysis.telemetry.PhaseWindow` of the named
+        phase (``"during-fault"``, ``"recovered"``, or a
+        :meth:`mark_phase` label) so it can assert on what happened
+        *inside* that window — e.g. "error rate during the partition
+        stayed under 30%" via ``stats.phase_summary(window)``.  A
+        window-scoped invariant fails if the run produced no phase
+        with that label.
+        """
+        self.invariants.append((name, check, phase))
 
     # -- the run ---------------------------------------------------------
 
@@ -703,13 +789,28 @@ class Soak:
         registry.end_phase(now=self.world.now)
         phases = registry.phases[phases_before:]
         failures: List[Tuple[str, str]] = []
-        for name, check in self.invariants:
-            try:
-                outcome = check()
-            except Exception as exc:  # noqa: BLE001 - reported, not fatal
-                failures.append((name, "%s: %s" % (type(exc).__name__, exc)))
+        for name, check, phase in self.invariants:
+            if phase is None:
+                targets: List[Any] = [None]
             else:
+                # Every window carrying the label is checked (repeated
+                # mark_phase labels produce several); a violation in
+                # any one of them fails the invariant.
+                targets = [w for w in phases if w.label == phase]
+                if not targets:
+                    failures.append(
+                        (name, "no phase window labelled %r (phases: %s)"
+                         % (phase, [w.label for w in phases])))
+                    continue
+            for window in targets:
+                try:
+                    outcome = check() if window is None else check(window)
+                except Exception as exc:  # noqa: BLE001 - reported
+                    failures.append(
+                        (name, "%s: %s" % (type(exc).__name__, exc)))
+                    break
                 if outcome is False:
                     failures.append((name, "returned False"))
+                    break
         return SoakReport(self.stats, elapsed, list(self.injector.log),
                           failures, len(self.invariants), phases=phases)

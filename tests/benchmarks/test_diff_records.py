@@ -1,0 +1,75 @@
+"""Tests for the cross-PR bench-record diff (benchmarks/diff_records.py).
+
+Like the trajectory gate, the script lives outside the package, so it
+is loaded by file path (with benchmarks/ on sys.path for its
+check_trajectory import).
+"""
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+BENCH_DIR = REPO_ROOT / "benchmarks"
+
+
+@pytest.fixture(scope="module")
+def differ():
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        spec = importlib.util.spec_from_file_location(
+            "diff_records", BENCH_DIR / "diff_records.py")
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        yield module
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def _write(directory, name, record):
+    directory.mkdir(exist_ok=True)
+    (directory / ("%s.json" % name)).write_text(json.dumps(record))
+
+
+def test_diff_covers_changed_new_and_dropped(differ, tmp_path):
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    _write(old, "kernel_echo", {"requests_per_sec": 1000.0,
+                                "events_per_sec": 5000.0})
+    _write(old, "kernel_gone", {"events_per_sec": 10.0})
+    _write(new, "kernel_echo", {"requests_per_sec": 1300.0,
+                                "events_per_sec": 4000.0,
+                                "peak_heap_size": 5})  # sizes not diffed
+    _write(new, "gdn_request_path", {"requests_per_sec": 90.0})
+
+    rows = differ.diff_directories(old, new)
+    by_key = {(r["name"], r["metric"]): r for r in rows}
+    assert by_key[("kernel_echo", "requests_per_sec")]["new"] == 1300.0
+    assert by_key[("kernel_echo", "events_per_sec")]["old"] == 5000.0
+    assert by_key[("gdn_request_path", "requests_per_sec")]["status"] \
+        == "new benchmark"
+    assert by_key[("gdn_request_path", "requests_per_sec")]["old"] is None
+    assert by_key[("kernel_gone", "-")]["status"] == "dropped benchmark"
+    assert ("kernel_echo", "peak_heap_size") not in by_key
+
+    table = differ.format_table(rows, "abc123", "def456")
+    assert "+30.0%" in table and "-20.0%" in table
+    assert "new benchmark" in table and "dropped benchmark" in table
+
+
+def test_diff_main_is_informational_only(differ, tmp_path, capsys):
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    # A catastrophic regression still exits 0: this is context, not a
+    # gate (runner classes differ between CI runs).
+    _write(old, "kernel_echo", {"requests_per_sec": 1000.0})
+    _write(new, "kernel_echo", {"requests_per_sec": 10.0})
+    assert differ.main(["--old", str(old), "--new", str(new)]) == 0
+    out = capsys.readouterr().out
+    assert "-99.0%" in out
+    # Unusable directories are a usage error.
+    assert differ.main(["--old", str(tmp_path / "nope"),
+                        "--new", str(new)]) == 2

@@ -271,3 +271,33 @@ def test_channel_close_propagates(world, pki):
     proc = world.get_host("server-host").spawn(server_side())
     client_channel.close()
     assert world.run_until(proc, limit=1e6) == "closed"
+
+
+def test_forged_record_size_cannot_stall_or_discount_the_pump(world, pki):
+    """The carried record size ("w") is not MAC-covered, so the recv
+    pump only believes values inside a sane range: a forged petabyte
+    declaration must not buy the attacker an unbounded CPU charge on
+    the victim (stalling every legitimate record queued behind it),
+    and a negative one must not skip the charge."""
+    for forged_w in (10**15, -5):
+        local_world = World(topology=Topology.balanced(2, 2, 2, 2), seed=13)
+        client_channel, server_channel = _secure_pair(local_world, pki)
+
+        def attack():
+            client_channel.conn.send({"s": 1, "p": {"evil": True},
+                                      "m": b"\x00" * 32, "w": forged_w})
+            yield local_world.sim.timeout(0)
+
+        def victim():
+            try:
+                yield server_channel.recv()
+            except SecurityError:
+                return local_world.now
+
+        local_world.get_host("client-host").spawn(attack())
+        proc = local_world.get_host("server-host").spawn(victim())
+        detected_at = local_world.run_until(proc, limit=1e6)
+        # Tamper detected after a cost bounded by what actually
+        # crossed the wire (the honest walk), not the forged claim.
+        assert detected_at < 60.0, "forged w=%r stalled the pump" % forged_w
+        assert server_channel.integrity_failures == 1

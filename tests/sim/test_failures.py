@@ -44,11 +44,11 @@ def test_partition_window(world):
     outside = world.topology.site("r1/c0/m0/s0")
 
     world.run(until=1.0)
-    assert world.network.deliver(inside, outside, "h", 1, lambda: None)
+    assert world.network.deliver(inside, outside, "h", 1, lambda _e: None)
     world.run(until=3.0)
-    assert not world.network.deliver(inside, outside, "h", 1, lambda: None)
+    assert not world.network.deliver(inside, outside, "h", 1, lambda _e: None)
     world.run(until=6.0)
-    assert world.network.deliver(inside, outside, "h", 1, lambda: None)
+    assert world.network.deliver(inside, outside, "h", 1, lambda _e: None)
 
 
 def test_loss_setting_validated(world):

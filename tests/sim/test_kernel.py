@@ -472,6 +472,119 @@ def test_defused_failure_stays_defused_through_anyof():
     assert sim.now == 100.0
 
 
+def test_same_instant_timer_and_triggered_events_interleave_by_seq():
+    """Timers and zero-delay events at one timestamp fire in
+    scheduling order — the (time, seq) contract across the run queue
+    and the timer heap."""
+    sim = Simulator()
+    order = []
+
+    def note(tag):
+        return lambda _event: order.append(tag)
+
+    def driver():
+        yield sim.timeout(1.0)
+        # All of these fire at t=1.0; their relative order must be
+        # exactly creation order, however they were scheduled.
+        sim.timeout(0.0).add_callback(note("timer-a"))         # heap
+        sim.event().succeed().add_callback(note("event-a"))    # run queue
+        sim.timeout_at(sim.now).add_callback(note("timer-b"))  # heap, tie
+        sim.event().succeed().add_callback(note("event-b"))    # run queue
+        sim.timeout(0.0).add_callback(note("timer-c"))         # heap
+
+    sim.process(driver())
+    sim.run()
+    assert order == ["timer-a", "event-a", "timer-b", "event-b", "timer-c"]
+
+
+def test_same_instant_strict_scheduling_order():
+    """The canonical interleaving: alternating zero-delay triggers and
+    t=now timers fire strictly in the order they were scheduled."""
+    sim = Simulator()
+    order = []
+
+    def fire(tag):
+        return lambda _event: order.append(tag)
+
+    def driver():
+        yield sim.timeout(2.0)
+        for index in range(6):
+            if index % 2:
+                sim.timeout(0.0).add_callback(fire("t%d" % index))
+            else:
+                sim.event().succeed().add_callback(fire("e%d" % index))
+
+    sim.process(driver())
+    sim.run()
+    assert order == ["e0", "t1", "e2", "t3", "e4", "t5"]
+    assert sim.now == 2.0
+
+
+def test_zero_delay_cascade_bypasses_heap():
+    """A deep succeed() chain never touches the timer heap."""
+    sim = Simulator()
+    chain = {"count": 0}
+
+    def relay(event):
+        if chain["count"] < 1000:
+            chain["count"] += 1
+            nxt = sim.event()
+            nxt.add_callback(relay)
+            nxt.succeed()
+
+    first = sim.event()
+    first.add_callback(relay)
+    first.succeed()
+    sim.run()
+    assert chain["count"] == 1000
+    assert sim.peak_heap_size == 0          # no timer ever armed
+    assert sim.peak_ready_size >= 1
+    assert sim.events_processed == 1001
+    assert sim.now == 0.0                   # the cascade took no time
+
+
+def test_peek_sees_run_queue_before_heap():
+    sim = Simulator()
+    sim.run(until=3.0)
+    sim.timeout(5.0)
+    assert sim.peek() == 8.0
+    sim.event().succeed()
+    assert sim.peek() == 3.0                # a ready event fires *now*
+    assert sim.ready_size == 1
+    sim.run(until=3.0)                      # processes the ready event
+    assert sim.ready_size == 0
+    assert sim.peek() == 8.0
+
+
+def test_step_merges_run_queue_and_tied_timer():
+    sim = Simulator()
+    order = []
+    timer = sim.timeout(0.0)                # seq 0, t=0 (heap)
+    timer.add_callback(lambda _e: order.append("timer"))
+    event = sim.event().succeed()           # seq 1, t=0 (run queue)
+    event.add_callback(lambda _e: order.append("event"))
+    sim.step()
+    assert order == ["timer"]               # lower seq wins the tie
+    sim.step()
+    assert order == ["timer", "event"]
+
+
+def test_run_until_limit_with_pending_ready_events():
+    """run_until_complete still detects a time-limit breach when only
+    run-queue events remain (parity with the single-heap scheduler,
+    where zero-delay events lived in the heap and tripped the same
+    check)."""
+    sim = Simulator()
+    sim.run(until=5.0)
+
+    def proc():
+        yield sim.event()                   # never triggered
+
+    process = sim.process(proc())           # start event fires at t=5
+    with pytest.raises(SimulationError, match="did not complete"):
+        sim.run_until_complete(process, limit=2.0)
+
+
 def test_determinism_two_runs_identical():
     def build():
         sim = Simulator()

@@ -49,7 +49,7 @@ def test_delivery_and_metering(net):
     a = topo.site("r0/c0/m0/s0")
     b = topo.site("r1/c0/m0/s0")
     arrived = []
-    ok = net.deliver(a, b, "hostB", 1000, lambda: arrived.append(net.sim.now))
+    ok = net.deliver(a, b, "hostB", 1000, lambda _e: arrived.append(net.sim.now))
     assert ok
     net.sim.run()
     assert len(arrived) == 1
@@ -61,9 +61,9 @@ def test_delivery_and_metering(net):
 def test_wide_area_bytes_counts_region_and_world(net):
     topo = net.topology
     a = topo.site("r0/c0/m0/s0")
-    net.deliver(a, topo.site("r0/c0/m0/s1"), "h", 10, lambda: None)
-    net.deliver(a, topo.site("r0/c1/m0/s0"), "h", 100, lambda: None)
-    net.deliver(a, topo.site("r1/c0/m0/s0"), "h", 1000, lambda: None)
+    net.deliver(a, topo.site("r0/c0/m0/s1"), "h", 10, lambda _e: None)
+    net.deliver(a, topo.site("r0/c1/m0/s0"), "h", 100, lambda _e: None)
+    net.deliver(a, topo.site("r1/c0/m0/s0"), "h", 1000, lambda _e: None)
     assert net.meter.wide_area_bytes() == 1100
     assert net.meter.wide_area_bytes(min_level=Level.WORLD) == 1000
 
@@ -72,11 +72,11 @@ def test_down_host_drops(net):
     topo = net.topology
     a = topo.site("r0/c0/m0/s0")
     net.set_host_down("dead")
-    delivered = net.deliver(a, a, "dead", 10, lambda: None)
+    delivered = net.deliver(a, a, "dead", 10, lambda _e: None)
     assert not delivered
     assert net.meter.dropped_messages == 1
     net.set_host_down("dead", down=False)
-    assert net.deliver(a, a, "dead", 10, lambda: None)
+    assert net.deliver(a, a, "dead", 10, lambda _e: None)
 
 
 def test_partition_blocks_boundary_crossing(net):
@@ -85,11 +85,11 @@ def test_partition_blocks_boundary_crossing(net):
     inside2 = topo.site("r0/c0/m1/s0")
     outside = topo.site("r1/c0/m0/s0")
     net.partition_domain(topo.domain("r0"))
-    assert not net.deliver(inside, outside, "h", 1, lambda: None)
-    assert not net.deliver(outside, inside, "h", 1, lambda: None)
-    assert net.deliver(inside, inside2, "h", 1, lambda: None)
+    assert not net.deliver(inside, outside, "h", 1, lambda _e: None)
+    assert not net.deliver(outside, inside, "h", 1, lambda _e: None)
+    assert net.deliver(inside, inside2, "h", 1, lambda _e: None)
     net.heal_domain(topo.domain("r0"))
-    assert net.deliver(inside, outside, "h", 1, lambda: None)
+    assert net.deliver(inside, outside, "h", 1, lambda _e: None)
 
 
 def test_unreliable_loss_is_deterministic_per_seed():
@@ -100,7 +100,7 @@ def test_unreliable_loss_is_deterministic_per_seed():
         net = Network(sim, topo, params, seed=seed)
         a = topo.site("r0/c0/m0/s0")
         b = topo.site("r1/c0/m0/s0")
-        return [net.deliver(a, b, "h", 1, lambda: None) for _ in range(50)]
+        return [net.deliver(a, b, "h", 1, lambda _e: None) for _ in range(50)]
 
     assert drops(1) == drops(1)
     assert drops(1) != drops(2)  # overwhelmingly likely
@@ -113,7 +113,7 @@ def test_reliable_traffic_ignores_loss():
     net = Network(sim, topo, params)
     a = topo.site("r0/c0/m0/s0")
     b = topo.site("r1/c0/m0/s0")
-    assert net.deliver(a, b, "h", 1, lambda: None, reliable=True)
+    assert net.deliver(a, b, "h", 1, lambda _e: None, reliable=True)
 
 
 def test_jitter_fraction_validation():
@@ -124,7 +124,7 @@ def test_jitter_fraction_validation():
 def test_meter_reset_and_snapshot(net):
     topo = net.topology
     a = topo.site("r0/c0/m0/s0")
-    net.deliver(a, a, "h", 42, lambda: None)
+    net.deliver(a, a, "h", 42, lambda _e: None)
     snap = net.meter.snapshot()
     assert snap["SITE"] == 42
     net.meter.reset()

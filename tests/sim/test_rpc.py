@@ -409,3 +409,63 @@ def test_rpc_channel_counters_bind_to_registry():
     assert world.metrics.get("chan.calls").value == 2
     assert world.metrics.get("chan.faults").value == 1
     assert world.metrics.get("chan.timeouts").value == 0
+
+
+# -- size-memoised envelopes -------------------------------------------------
+
+
+def test_request_envelope_size_matches_live_walk():
+    """The precomputed envelope constants must mirror encoded_size
+    exactly — accounting (and so transfer delays) must not shift by a
+    byte when the memoised path is used."""
+    from repro.sim.rpc import _request_size
+    from repro.sim.serde import encoded_size
+
+    for method, src, args in [
+        ("echo", "client", {"x": 17}),
+        ("lookup", "gls-node-3", {"oid": "ab" * 16, "hops": 4}),
+        ("insert", "h", {}),
+        ("püsh", "host-ü", {"blob": b"\x00" * 100, "names": ["a", "bb"]}),
+    ]:
+        request = {"id": 12345, "method": method, "args": args,
+                   "src": src}
+        assert _request_size(method, src, encoded_size(args)) \
+            == encoded_size(request), (method, src, args)
+
+
+def test_reply_envelope_size_matches_live_walk():
+    from repro.sim.rpc import _reply_size
+    from repro.sim.serde import encoded_size
+
+    ok_reply = {"id": 7, "ok": True, "value": {"status": 200, "n": 3}}
+    assert _reply_size(ok_reply) == encoded_size(ok_reply)
+    err_reply = {"id": 8, "ok": False,
+                 "error": ("ValueError", "deliberate")}
+    assert _reply_size(err_reply) == encoded_size(err_reply)
+    # Malformed request: the echoed id may be None — the helper must
+    # fall back to the honest walk rather than charging an int's size.
+    none_id = {"id": None, "ok": False, "error": ("NoSuchMethod", "x")}
+    assert _reply_size(none_id) == encoded_size(none_id)
+
+
+def test_udp_retry_resends_same_sized_envelope(world):
+    """A retried call re-sends an envelope of identical wire size (the
+    args are measured once; only the int id changes)."""
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    # No server at the port: every attempt times out and retries.
+    client = UdpRpcClient(a, timeout=0.2, retries=2)
+    meter = world.network.meter
+
+    def caller():
+        try:
+            yield from client.call(b, 5300, "echo", {"text": "hello"})
+        except RpcTimeout:
+            return "timed out"
+
+    before = meter.total_bytes
+    proc = a.spawn(caller())
+    assert world.run_until(proc, limit=100) == "timed out"
+    sent = meter.total_bytes - before
+    assert sent % 3 == 0, "three identical attempts must charge equally"
+    assert client.retries_sent == 2

@@ -328,3 +328,105 @@ def test_connection_fifo_preserved_under_jitter():
         proc = a.spawn(sender())
         world.run_until(proc, limit=1000)
         assert received == ["first", "second"], "seed %d" % seed
+
+
+def test_recv_backlog_fast_path_preserves_fifo(world):
+    """A receiver that falls behind drains its backlog in exact send
+    order — the direct hand-off path must not reorder or drop."""
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    listener = b.listen(7000)
+    received = []
+
+    def sender():
+        conn = yield from a.connect(b, 7000)
+        for index in range(8):
+            conn.send(index)
+        yield world.sim.timeout(5.0)   # everything lands; backlog builds
+        conn.close()
+
+    def receiver():
+        conn = yield listener.accept()
+        yield world.sim.timeout(4.0)   # let the backlog accumulate
+        assert len(conn._inbox) == 8   # all eight queued, nobody waiting
+        while True:
+            try:
+                message = yield conn.recv()
+            except ConnectionClosed:
+                return
+            received.append(message)
+
+    b.spawn(receiver())
+    proc = a.spawn(sender())
+    world.run_until(proc, limit=1000)
+    world.run()
+    assert received == list(range(8))
+
+
+def test_recv_backlog_eof_repeats_for_every_recv(world):
+    """EOF behind a backlog: queued messages drain first, then every
+    subsequent recv() — fast path or slow — fails with
+    ConnectionClosed."""
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r0/c0/m0/s1")
+    listener = b.listen(7000)
+    outcomes = []
+
+    def sender():
+        conn = yield from a.connect(b, 7000)
+        conn.send("only")
+        conn.close()
+        yield world.sim.timeout(0)
+
+    def receiver():
+        conn = yield listener.accept()
+        yield world.sim.timeout(5.0)   # message and EOF both queued
+        outcomes.append((yield conn.recv()))
+        for _ in range(2):             # EOF stays in place for repeats
+            try:
+                yield conn.recv()
+            except ConnectionClosed:
+                outcomes.append("closed")
+
+    a.spawn(sender())
+    proc = b.spawn(receiver())
+    world.run_until(proc, limit=1000)
+    assert outcomes == ["only", "closed", "closed"]
+
+
+def test_abrupt_break_eof_outranks_stragglers(world):
+    """After an abrupt break (peer crash), EOF sticks at the inbox
+    head on both the parked-getter and backlog recv paths: every
+    subsequent recv fails, and a message still in flight at crash
+    time is dropped, not resurrected behind the failure."""
+    a = world.host("a", "r0/c0/m0/s0")
+    b = world.host("b", "r1/c0/m0/s0")
+    listener = b.listen(7000)
+    outcomes = []
+
+    def server():
+        conn = yield listener.accept()
+        # ~3.5s in flight at world separation: still traveling when
+        # the host dies.
+        conn.send("straggler", size=5_000_000)
+        yield world.sim.timeout(1000.0)  # killed by the crash
+
+    def receiver():
+        conn = yield from a.connect(b, 7000)
+        for _ in range(3):
+            try:
+                message = yield conn.recv()
+                outcomes.append(message)
+            except ConnectionClosed:
+                outcomes.append("closed")
+
+    def controller():
+        yield world.sim.timeout(1.0)     # after the send, before arrival
+        b.crash()
+
+    b.spawn(server())
+    world.sim.process(controller())
+    proc = a.spawn(receiver())
+    world.run_until(proc, limit=100)
+    world.run()
+    assert outcomes == ["closed", "closed", "closed"]

@@ -632,3 +632,237 @@ def test_soak_phases_exclude_foreign_open_windows():
         == ["experiment-setup", "steady"]
     rows = report.phase_rows()
     assert sum(row["issued"] for row in rows) == 10
+
+
+# -- phases= on plain scenarios ----------------------------------------------
+
+def test_open_loop_phases_mark_named_windows():
+    """A plain open-loop scenario slices itself into named phase
+    windows — no Soak wrapper — and the deltas tile the run."""
+    sim = Simulator()
+
+    def request(arrival):
+        yield sim.timeout(0.005)
+
+    stats = LoadStats()
+    scenario = OpenLoopScenario(UniformSchedule(100.0), 100,
+                                phases=[(0.0, "warmup"), (0.5, "steady")])
+    stats2, _elapsed = _drive(sim, scenario, request, stats=stats)
+    labels = [window.label for window in stats.registry.phases]
+    assert labels == ["warmup", "steady"]
+    rows = [stats.phase_summary(window)
+            for window in stats.registry.phases]
+    # Uniform arrivals every 10ms: 50 land in [0, 0.5), the rest after.
+    assert rows[0]["issued"] == 50
+    assert rows[1]["issued"] == 50
+    assert sum(row["issued"] for row in rows) == stats.issued == 100
+    assert sum(row["ok"] for row in rows) == stats.ok == 100
+    # Windows carry timestamps, so per-phase throughput is computable.
+    assert rows[0]["duration"] == pytest.approx(0.5)
+    assert rows[0]["throughput"] > 0
+
+
+def test_closed_loop_phases_and_marks_past_the_end():
+    """phases= works on closed-loop scenarios too; a mark beyond the
+    end of the run is dropped rather than left dangling."""
+    sim = Simulator()
+
+    def request(arrival):
+        yield sim.timeout(0.01)
+
+    stats = LoadStats()
+    scenario = ClosedLoopScenario(clients=2, think_time=0.05,
+                                  requests_per_client=5,
+                                  phases=[(0.0, "all"), (1e6, "never")])
+    _drive(sim, scenario, request, stats=stats)
+    labels = [window.label for window in stats.registry.phases]
+    assert labels == ["all"]
+    window = stats.registry.phases[0]
+    assert stats.phase_summary(window)["issued"] == 10
+    # The dangling mark's sleeper was reaped (its t=1e6 timer was
+    # cancelled with it): draining leaves nothing scheduled.
+    sim.run()
+    assert sim.peek() == float("inf")
+    assert sim.now < 1e6
+
+
+def test_phases_validation_and_ordering():
+    with pytest.raises(ValueError, match="negative"):
+        OpenLoopScenario(UniformSchedule(10.0), 5,
+                         phases=[(-1.0, "bad")])
+    scenario = OpenLoopScenario(UniformSchedule(10.0), 5,
+                                phases=[(0.4, "late"), (0.0, "early")])
+    assert scenario.phases == [(0.0, "early"), (0.4, "late")]
+    assert OpenLoopScenario(UniformSchedule(10.0), 5).phases is None
+
+
+def test_scenario_phases_close_foreign_open_window():
+    """A phase left open on a shared registry before the drive must be
+    closed first, so the scenario's own windows tile cleanly."""
+    sim = Simulator()
+
+    def request(arrival):
+        yield sim.timeout(0.001)
+
+    stats = LoadStats()
+    stats.registry.phase("someone-elses-setup")
+    scenario = OpenLoopScenario(UniformSchedule(100.0), 10,
+                                phases=[(0.0, "mine")])
+    _drive(sim, scenario, request, stats=stats)
+    assert [w.label for w in stats.registry.phases] \
+        == ["someone-elses-setup", "mine"]
+
+
+# -- window-scoped soak invariants -------------------------------------------
+
+def _partitioned_fallback_soak():
+    """The replica-fallback soak from the phase-window test, reusable
+    for window-scoped invariant checks."""
+    from repro.sim.rpc import RpcError
+
+    world = World(topology=Topology.balanced(1, 2, 1, 2), seed=21)
+    client_host = world.host("client", "r0/c0/m0/s0")
+    replica_host = world.host("replica", "r0/c1/m0/s0")
+    fallback_host = world.host("fallback", "r0/c0/m0/s1")
+    for server_host in (replica_host, fallback_host):
+        server = UdpRpcServer(server_host, 5300)
+        server.register("echo", lambda ctx, args: args["x"])
+        server.start()
+    client = UdpRpcClient(client_host, timeout=0.25, retries=3)
+
+    def request(arrival):
+        try:
+            value = yield from client.call(replica_host, 5300, "echo",
+                                           {"x": arrival.index})
+        except RpcError:
+            value = yield from client.call(fallback_host, 5300, "echo",
+                                           {"x": arrival.index})
+        return value == arrival.index
+
+    stats = LoadStats(registry=world.metrics)
+    soak = Soak(world, OpenLoopScenario(UniformSchedule(20.0), 160),
+                request, stats=stats, settle=1.0)
+    soak.partition(world.topology.domain("r0/c1"), start=world.now + 2.0,
+                   duration=2.0)
+    return soak, stats
+
+
+def test_window_scoped_invariants_on_partition_soak():
+    """Invariants bound to a named phase receive that phase's closed
+    window and judge in-window deltas, not run totals."""
+    soak, stats = _partitioned_fallback_soak()
+
+    def error_rate_below(limit):
+        def check(window):
+            row = stats.phase_summary(window)
+            finished = row["ok"] + row["failed"]
+            return finished > 0 and row["failed"] / finished <= limit
+        return check
+
+    # Every request eventually fails over, so the during-fault error
+    # *rate* stays at zero even though latency degrades badly.
+    soak.invariant("error rate during fault <= 10%",
+                   error_rate_below(0.10), phase="during-fault")
+    soak.invariant("fault window saw drops",
+                   lambda window: window.delta("net.dropped") > 0,
+                   phase="during-fault")
+    # p50, not p95: stragglers issued just before the heal complete
+    # their 1s failover *inside* the recovered window, so its far tail
+    # legitimately carries fault-era latencies.
+    soak.invariant("recovered window is clean",
+                   lambda window: window.delta("net.dropped") == 0
+                   and stats.phase_summary(window)["p50"] < 0.1,
+                   phase="recovered")
+    report = soak.run()
+    assert report.ok, report.failures
+    assert report.invariants_checked == 3
+
+
+def test_window_scoped_invariant_failures_are_reported():
+    soak, stats = _partitioned_fallback_soak()
+    soak.invariant("p95 during fault stays tiny",       # it will not
+                   lambda window:
+                   stats.phase_summary(window)["p95"] < 0.001,
+                   phase="during-fault")
+    soak.invariant("no such phase", lambda window: True,
+                   phase="meltdown")
+    report = soak.run()
+    assert not report.ok
+    failed = dict(report.failures)
+    assert failed["p95 during fault stays tiny"] == "returned False"
+    assert "no phase window labelled 'meltdown'" \
+        in failed["no such phase"]
+
+
+def test_flash_crowd_trace_shape_and_replay_determinism():
+    """The committed flash-crowd trace has the documented spike shape,
+    and a seeded replay produces byte-identical LoadStats summaries
+    run over run (the determinism fingerprint of the fast-path
+    kernel: replay order must not depend on anything but the trace
+    and the seed)."""
+    from repro.workloads.scenario import bundled_trace
+
+    path = bundled_trace("flash_crowd_small.jsonl")
+    events = load_trace(path)
+    assert len(events) == 140
+    in_spike = [e for e in events if 5.0 <= e.time < 7.0]
+    outside = [e for e in events if not 5.0 <= e.time < 7.0]
+    # The spike carries most of the trace at ~15x the base rate, and
+    # is dominated by the announced object (rank 0).
+    assert len(in_spike) > 2 * len(outside)
+    spike_hot = sum(1 for e in in_spike if e.object_index == 0)
+    assert spike_hot >= 0.7 * len(in_spike)
+    assert {e.kind for e in events} == {"read", "write"}
+
+    topology = Topology.balanced(2, 2, 1, 2)
+
+    def one_run():
+        sim = Simulator()
+        rng = random.Random(13)
+
+        def request(arrival):
+            yield sim.timeout(rng.uniform(0.001, 0.02)
+                              * (arrival.rank + 1))
+            return arrival.kind == "read" or arrival.rank % 2 == 0
+
+        scenario = TraceScenario.from_file(path, topology=topology)
+        stats, elapsed = _drive(sim, scenario, request, seed=11)
+        # The full summary dict plus the histogram's canonical state:
+        # byte-identical across runs, not merely "close".
+        return (stats.summary(), stats.latency.state(), elapsed,
+                sim.events_processed)
+
+    first = one_run()
+    assert first == one_run()
+    assert first[0]["issued"] == 140
+
+
+def test_window_invariants_check_every_matching_window():
+    """Repeated phase labels (two mark_phase calls with one name)
+    produce several windows; a window-scoped invariant must be judged
+    against all of them, not silently only the last."""
+    world, client_host, server_host, _server = _echo_world()
+    client = UdpRpcClient(client_host)
+
+    def request(arrival):
+        value = yield from client.call(server_host, 5300, "echo",
+                                       {"x": arrival.index})
+        return value == arrival.index
+
+    soak = Soak(world, OpenLoopScenario(UniformSchedule(10.0), 40),
+                request, settle=0.0)
+    base = world.now
+    soak.mark_phase(base + 1.0, "burst")
+    soak.mark_phase(base + 2.0, "burst")
+    seen_starts = []
+    soak.invariant("sees every burst window",
+                   lambda window: seen_starts.append(window.started_at)
+                   or True, phase="burst")
+    soak.invariant("fails on the first burst window",
+                   lambda window: window.started_at != base + 1.0,
+                   phase="burst")
+    report = soak.run()
+    assert seen_starts == [base + 1.0, base + 2.0]
+    failed = dict(report.failures)
+    assert "fails on the first burst window" in failed
+    assert "sees every burst window" not in failed
