@@ -96,6 +96,7 @@ def test_gdn_request_path_throughput(benchmark):
                                     sites=world.topology.sites,
                                     label="gdn-request-path")
         events_before = world.sim.events_processed
+        timers_before = world.sim.timers_scheduled
         started = time.perf_counter()
         sim_elapsed = gdn.run(
             scenario.drive(world.sim, one_request,
@@ -107,9 +108,14 @@ def test_gdn_request_path_throughput(benchmark):
             "every request must succeed (got %d ok / %d failed)" \
             % (stats.ok, stats.failed)
         sim = world.sim
+        # The simulator-wide deadline pool (connect/call guards on the
+        # serving path) must be fully drained once the load completes.
+        assert world.metrics.get("kernel.deadline_pool.depth").value == 0
         return ({"requests_per_sec": GDN_REQUESTS / wall,
                  "events_per_sec": events / wall,
                  "events_per_request": events / GDN_REQUESTS,
+                 "timers_per_request":
+                     (sim.timers_scheduled - timers_before) / GDN_REQUESTS,
                  "peak_heap_size": sim.peak_heap_size,
                  "peak_ready_size": sim.peak_ready_size,
                  "heap_after_run": sim.heap_size,

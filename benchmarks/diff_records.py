@@ -27,10 +27,17 @@ from typing import List, Optional
 
 from check_trajectory import RATE_METRICS
 
+#: Ratio metrics ride along in the diff table (never gated): the
+#: timers-scheduled-per-request ratio makes cross-PR timer-churn
+#: regressions visible right next to the rate diff.  Unlike the
+#: rates, lower is better.
+RATIO_METRICS = ("timers_per_request", "events_per_request")
+
 
 def diff_directories(old_dir: pathlib.Path, new_dir: pathlib.Path
                      ) -> List[dict]:
-    """Rows for every rate metric present in both same-named records."""
+    """Rows for every rate/ratio metric present in both same-named
+    records."""
     rows: List[dict] = []
     for new_path in sorted(new_dir.glob("*.json")):
         old_path = old_dir / new_path.name
@@ -38,7 +45,7 @@ def diff_directories(old_dir: pathlib.Path, new_dir: pathlib.Path
         new_record = json.loads(new_path.read_text())
         old_record = (json.loads(old_path.read_text())
                       if old_path.exists() else {})
-        for metric in RATE_METRICS:
+        for metric in RATE_METRICS + RATIO_METRICS:
             if metric not in new_record:
                 continue
             rows.append({
@@ -63,17 +70,23 @@ def format_table(rows: List[dict], label_old: str, label_new: str) -> str:
                                             label_old[:14], label_new[:14],
                                             "change")]
     for row in rows:
+        # Ratios (per-request counts) need decimals; rates do not.
+        value_format = ("%.3f" if row["metric"] in RATIO_METRICS
+                        else "%.0f")
         if row["old"] is None or row["new"] is None:
-            old = "-" if row["old"] is None else "%.0f" % row["old"]
-            new = "-" if row["new"] is None else "%.0f" % row["new"]
+            old = "-" if row["old"] is None else value_format % row["old"]
+            new = "-" if row["new"] is None else value_format % row["new"]
             change = row["status"] or "-"
             lines.append("%-24s %-18s %14s %14s  %s"
                          % (row["name"], row["metric"], old, new, change))
             continue
         change = (row["new"] / row["old"] - 1.0) if row["old"] else 0.0
-        lines.append("%-24s %-18s %14.0f %14.0f  %+7.1f%%"
-                     % (row["name"], row["metric"], row["old"],
-                        row["new"], change * 100.0))
+        note = "  (lower is better)" if row["metric"] in RATIO_METRICS \
+            else ""
+        lines.append("%-24s %-18s %14s %14s  %+7.1f%%%s"
+                     % (row["name"], row["metric"],
+                        value_format % row["old"],
+                        value_format % row["new"], change * 100.0, note))
     return "\n".join(lines)
 
 

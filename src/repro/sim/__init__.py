@@ -5,6 +5,7 @@ with a deterministic discrete-event model (see DESIGN.md §4 for the
 substitution rationale).
 """
 
+from .deadlines import FifoDeadlinePool, OrderedDeadlinePool, shared_pool
 from .failures import FailureInjector
 from .kernel import (AllOf, AnyOf, Event, Interrupt, Process, Resource,
                      SimulationError, Simulator, Store, Timeout)
@@ -21,6 +22,7 @@ from .world import World
 __all__ = [
     "AllOf", "AnyOf", "Event", "Interrupt", "Process", "Resource",
     "SimulationError", "Simulator", "Store", "Timeout",
+    "FifoDeadlinePool", "OrderedDeadlinePool", "shared_pool",
     "LinkParameters", "Network", "NetworkError", "TrafficMeter",
     "RpcChannel", "RpcContext", "RpcError", "RpcFault", "RpcServer",
     "RpcTimeout", "UdpRpcClient", "UdpRpcServer", "call",

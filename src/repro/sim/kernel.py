@@ -46,6 +46,13 @@ accordingly:
   this, every RPC that *succeeds* would strand its guard timer in the
   heap until its deadline passes, bloating ``heapq`` operations and
   forcing ``run()`` to grind through dead timers at the end of a run.
+* Guard deadlines are **pooled** on top of this
+  (:mod:`repro.sim.deadlines`): the RPC/transport layers track many
+  pending deadlines under a single armed kernel timer, reserving a
+  sequence number per logical deadline (:meth:`Simulator.reserve_seq`)
+  so a pooled expiry fires at exactly the ``(time, seq)`` position a
+  dedicated per-call :class:`Timeout` would have occupied.  The hot
+  guarded-call path then costs no heap traffic at all.
 
 Typical use::
 
@@ -205,7 +212,7 @@ class Timeout(Event):
     __slots__ = ("delay", "_auto_value", "_entry")
 
     def __init__(self, sim: "Simulator", delay: float, value: Any = None,
-                 at: Optional[float] = None):
+                 at: Optional[float] = None, seq: Optional[int] = None):
         """Fire ``delay`` from now — or, if ``at`` is given, at exactly
         that absolute instant (use :meth:`Simulator.timeout_at`).
 
@@ -214,6 +221,12 @@ class Timeout(Event):
         ``now + delay`` can land one float ULP away and invert the
         (time, sequence) order against another event at the "same"
         instant.
+
+        ``seq`` (see :meth:`Simulator.reserve_seq`) lets a scheduler
+        that pools many logical deadlines under few kernel timers fire
+        this timer at a previously *reserved* position in the global
+        ``(time, seq)`` order, as if it had been armed when the
+        sequence number was drawn.
         """
         if at is None:
             if delay < 0:
@@ -227,7 +240,7 @@ class Timeout(Event):
         super().__init__(sim)
         self.delay = delay
         self._auto_value = value
-        self._entry = sim._enqueue_abs(self, at)
+        self._entry = sim._enqueue_abs(self, at, seq)
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise SimulationError("Timeout events trigger themselves")
@@ -553,14 +566,30 @@ class Simulator:
         if len(ready) > self.peak_ready_size:
             self.peak_ready_size = len(ready)
 
-    def _enqueue_abs(self, event: Event, when: float) -> list:
+    def _enqueue_abs(self, event: Event, when: float,
+                     seq: Optional[int] = None) -> list:
         # All Timeouts come through here; triggered events via _enqueue.
         self._timers_scheduled += 1
-        entry = [when, next(self._sequence), event]
+        entry = [when, next(self._sequence) if seq is None else seq, event]
         heappush(self._heap, entry)
         if len(self._heap) > self.peak_heap_size:
             self.peak_heap_size = len(self._heap)
         return entry
+
+    def reserve_seq(self) -> int:
+        """Draw the next global sequence number without scheduling.
+
+        For deadline-pooling schedulers (:mod:`repro.sim.deadlines`):
+        a pool reserves a sequence number per logical deadline at the
+        instant the deadline is created, then arms *one* kernel timer
+        at a time via ``timeout_at(when, seq=reserved)``.  Each pooled
+        expiry therefore fires at exactly the ``(time, seq)`` position
+        a dedicated per-deadline :class:`Timeout` would have occupied,
+        so pooling is invisible to event ordering.  A reserved number
+        must be used at most once, and only for an instant that has
+        not already been passed in ``(time, seq)`` order.
+        """
+        return next(self._sequence)
 
     def _invalidate(self, entry: list) -> None:
         """Lazy removal: blank the entry; compact when mostly garbage."""
@@ -576,15 +605,17 @@ class Simulator:
         """An event firing ``delay`` time units from now."""
         return Timeout(self, delay, value)
 
-    def timeout_at(self, when: float, value: Any = None) -> Timeout:
+    def timeout_at(self, when: float, value: Any = None,
+                   seq: Optional[int] = None) -> Timeout:
         """An event firing at the absolute instant ``when`` (>= now).
 
         Unlike ``timeout(when - now)``, the heap entry carries ``when``
         verbatim, so two schedulers that agree on a timestamp are
         ordered purely by scheduling sequence — no float-rounding
-        inversions.
+        inversions.  ``seq`` optionally fires the timer at a reserved
+        position in the global order (:meth:`reserve_seq`).
         """
-        return Timeout(self, 0.0, value, at=when)
+        return Timeout(self, 0.0, value, at=when, seq=seq)
 
     def event(self) -> Event:
         """A fresh untriggered event (trigger it manually)."""

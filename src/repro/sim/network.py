@@ -178,6 +178,13 @@ class Network:
         # memoise the LCA walk per site pair (id-keyed: Domains are
         # unique objects owned by the topology).
         self._separation_cache: Dict[tuple, Level] = {}
+        # Partition membership per site — which partitioned domains
+        # contain it — is equally walk-derived and changes only when
+        # the partition set does, so it is memoised per (site,
+        # partition-set) and invalidated wholesale on partition/heal
+        # (rare control-plane events; the per-message check must not
+        # re-walk ancestors() for every partitioned domain).
+        self._partition_cache: Dict[int, frozenset] = {}
 
     # -- failure state -------------------------------------------------
 
@@ -193,17 +200,32 @@ class Network:
     def partition_domain(self, domain: Domain) -> None:
         """Isolate ``domain``: traffic crossing its boundary is lost."""
         self._partitioned.add(domain)
+        self._partition_cache.clear()
 
     def heal_domain(self, domain: Domain) -> None:
         self._partitioned.discard(domain)
+        self._partition_cache.clear()
+
+    def _partition_membership(self, site: Domain) -> frozenset:
+        """The partitioned domains containing ``site`` (cached)."""
+        key = id(site)
+        membership = self._partition_cache.get(key)
+        if membership is None:
+            ancestors = set(site.ancestors())
+            membership = frozenset(domain for domain in self._partitioned
+                                   if domain in ancestors)
+            self._partition_cache[key] = membership
+        return membership
 
     def _crosses_partition(self, site_a: Domain, site_b: Domain) -> bool:
-        for domain in self._partitioned:
-            inside_a = any(anc is domain for anc in site_a.ancestors())
-            inside_b = any(anc is domain for anc in site_b.ancestors())
-            if inside_a != inside_b:
-                return True
-        return False
+        # A message crosses a partition boundary iff some partitioned
+        # domain contains exactly one endpoint — i.e. the endpoints'
+        # partition memberships differ.  One cached set compare per
+        # message instead of one ancestor walk per partitioned domain.
+        if site_a is site_b:
+            return False
+        return (self._partition_membership(site_a)
+                != self._partition_membership(site_b))
 
     # -- cost model ----------------------------------------------------
 

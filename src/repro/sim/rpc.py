@@ -20,10 +20,20 @@ while serving a request.  Generator handlers are served in their own
 process — servers are concurrent; plain-function handlers take an
 inline fast path (no process spawn) since they cannot block.
 
-Client-side deadlines follow the kernel's cancellation discipline:
-each call arms one guard :class:`~repro.sim.kernel.Timeout` that fails
-the reply waiter if it expires, and *cancels* it the moment the reply
-arrives — a successful call leaves nothing behind in the event heap.
+Client-side deadlines are **pooled** (:mod:`repro.sim.deadlines`):
+instead of arming one guard :class:`~repro.sim.kernel.Timeout` per
+call, each client registers its deadline with a pool that keeps a
+single kernel timer armed for the earliest pending deadline.
+:class:`UdpRpcClient` uses one fixed ``timeout``, so its deadlines
+expire in FIFO order and its pool is a deque — zero heap traffic per
+call/retry; :meth:`RpcChannel.call` registers its mixed per-call
+timeouts with the simulator-wide shared pool.  A pooled expiry fires
+at exactly the ``(time, seq)`` position the per-call timer would have
+occupied (each call reserves a sequence number where it used to arm a
+timer), and a dead waiter's expiry passes silently — the observable
+semantics of the per-call guards, which remain available as the
+reference implementation (``UdpRpcClient(..., pooled=False)``, via
+:func:`_arm_deadline`).
 
 Envelope sizes are **memoised**: request and reply envelopes have a
 fixed dict shape, so their wire size is a precomputed constant plus
@@ -46,6 +56,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Dict, Generator, Optional
 
+from .deadlines import FifoDeadlinePool, shared_pool
 from .kernel import Event, Simulator
 from .serde import CONTAINER_ITEM_OVERHEAD, SCALAR_SIZE, encoded_size
 from .transport import (Connection, ConnectionClosed, Host, TransportError,
@@ -96,6 +107,21 @@ def _request_size(method: str, src: str, args_size: int) -> int:
             + args_size)
 
 
+def _request_base(cache: Dict[str, int], method: str, src: str) -> int:
+    """The fixed part of a request envelope's size for one
+    (client, method) pair, measured once and memoised.
+
+    A client's ``src`` never changes and its method-name vocabulary is
+    tiny, so per-call envelope sizing reduces to one dict probe plus
+    the walk of the variable ``args``.
+    """
+    base = cache.get(method)
+    if base is None:
+        base = _REQUEST_BASE + encoded_size(method) + encoded_size(src)
+        cache[method] = base
+    return base
+
+
 def _reply_size(reply: dict) -> int:
     """Encoded size of a reply envelope, walking only the payload."""
     if type(reply.get("id")) is not int:
@@ -128,20 +154,34 @@ class _DeadlineExpired(Exception):
     """Internal: a call's guard timer fired before the reply arrived."""
 
 
-def _arm_deadline(sim: Simulator, waiter: Event, delay: float):
-    """Arm a guard timer that fails ``waiter`` on expiry.
+def _expire_waiter(waiter: Event) -> None:
+    """Fail a reply waiter whose deadline expired.
 
+    The failure is pre-defused: if the waiter was already answered, or
+    the waiting process died in the meantime (host crash), the expiry
+    passes silently instead of crashing the simulation.  This is the
+    expiry action for both the pooled and the per-call guard paths.
+    """
+    if not waiter.triggered:
+        waiter.defuse()
+        waiter.fail(_DeadlineExpired())
+
+
+def _arm_deadline(sim: Simulator, waiter: Event, delay: float):
+    """Arm a dedicated guard timer that fails ``waiter`` on expiry.
+
+    The per-call-timer *reference implementation* of the guard
+    discipline — one heap push per call, cancelled on reply.  The hot
+    paths use deadline pools instead (:mod:`repro.sim.deadlines`);
+    this stays as the behavioural baseline the pooled path is pinned
+    byte-identical against (``UdpRpcClient(..., pooled=False)``).
     Returns the timer so the caller can :meth:`Timeout.cancel` it once
-    the reply arrives.  The failure is pre-defused: if the waiting
-    process died in the meantime (host crash), the expiry passes
-    silently instead of crashing the simulation.
+    the reply arrives.
     """
     deadline = sim.timeout(delay)
 
     def expire(_event: Event) -> None:
-        if not waiter.triggered:
-            waiter.defuse()
-            waiter.fail(_DeadlineExpired())
+        _expire_waiter(waiter)
 
     deadline.add_callback(expire)
     return deadline
@@ -303,6 +343,10 @@ class RpcChannel:
         self.timeouts = 0
         self.faults = 0
         self._pending: Dict[int, Event] = {}
+        self._size_cache: Dict[str, int] = {}  # method -> envelope base
+        # Guarded calls register their mixed per-call timeouts with the
+        # simulator-wide pool: one armed kernel timer for all of them.
+        self._deadlines = shared_pool(host.sim)
         self._dispatcher = host.spawn(self._dispatch_loop())
 
     def bind_metrics(self, registry, prefix: str) -> None:
@@ -351,8 +395,8 @@ class RpcChannel:
         request = {"id": request_id, "method": method,
                    "args": args, "src": self.host.name}
         if size is None:
-            size = _request_size(method, self.host.name,
-                                 encoded_size(args))
+            size = (_request_base(self._size_cache, method, self.host.name)
+                    + encoded_size(args))
         self.calls += 1
         waiter = self.sim.event()
         self._pending[request_id] = waiter
@@ -373,7 +417,7 @@ class RpcChannel:
                 self.faults += 1
                 raise
             return value
-        deadline = _arm_deadline(self.sim, waiter, timeout)
+        guard = self._deadlines.add(lambda: _expire_waiter(waiter), timeout)
         try:
             value = yield waiter
         except _DeadlineExpired:
@@ -385,7 +429,7 @@ class RpcChannel:
             self.faults += 1
             raise
         finally:
-            deadline.cancel()  # no stranded timers on the reply path
+            self._deadlines.cancel(guard)  # nothing stranded on reply
         return value
 
     def close(self) -> None:
@@ -502,16 +546,32 @@ class UdpRpcServer:
         self._reply(datagram, reply)
 
     def _reply(self, datagram, reply: dict) -> None:
+        # Count only when the reply datagram actually goes out: if
+        # stop() or a crash closed the socket while a generator handler
+        # was still working, the request was *not* served — counting it
+        # would drift served-vs-answered accounting in soak reports.
+        socket = self._socket
+        if socket is None or socket.closed:
+            return
+        socket.send_to(datagram.src_host, datagram.src_port, reply,
+                       size=_reply_size(reply))
         self.requests_served += 1
-        if self._socket is not None and not self._socket.closed:
-            self._socket.send_to(datagram.src_host, datagram.src_port, reply,
-                                 size=_reply_size(reply))
 
 
 class UdpRpcClient:
-    """Datagram RPC client with timeout and retry."""
+    """Datagram RPC client with timeout and retry.
 
-    def __init__(self, host: Host, timeout: float = 0.5, retries: int = 3):
+    Every attempt is guarded by a deadline from the client's own
+    :class:`~repro.sim.deadlines.FifoDeadlinePool` — one fixed
+    ``timeout`` means deadlines expire in FIFO order, so a guarded
+    attempt costs a deque append and an O(1) cancel instead of any
+    kernel heap traffic.  ``pooled=False`` falls back to a dedicated
+    guard timer per attempt (:func:`_arm_deadline`): the reference
+    implementation determinism tests pin the pool against.
+    """
+
+    def __init__(self, host: Host, timeout: float = 0.5, retries: int = 3,
+                 pooled: bool = True):
         self.host = host
         self.sim = host.sim
         self.timeout = timeout
@@ -523,8 +583,12 @@ class UdpRpcClient:
         self.retries_sent = 0
         self.timeouts_hit = 0
         self.faults = 0
+        self.deadline_pool = (FifoDeadlinePool(host.sim, timeout,
+                                               _expire_waiter)
+                              if pooled else None)
         self._socket = host.udp_socket()
         self._pending: Dict[int, Event] = {}
+        self._size_cache: Dict[str, int] = {}  # method -> envelope base
         host.spawn(self._dispatch_loop())
 
     def bind_metrics(self, registry, prefix: str) -> None:
@@ -532,6 +596,8 @@ class UdpRpcClient:
         registry.counter(prefix + ".retries", fn=lambda: self.retries_sent)
         registry.counter(prefix + ".timeouts", fn=lambda: self.timeouts_hit)
         registry.counter(prefix + ".faults", fn=lambda: self.faults)
+        if self.deadline_pool is not None:
+            self.deadline_pool.bind_metrics(registry, prefix + ".deadlines")
 
     def _ensure_open(self) -> None:
         """Re-open the socket after a host crash+restart destroyed it.
@@ -580,20 +646,40 @@ class UdpRpcClient:
         self._ensure_open()
         self.calls += 1
         args = args if args is not None else {}
-        # Measured once; every retry re-sends a same-sized envelope
-        # (the fresh id is an int like the last one).
-        size = _request_size(method, self.host.name, encoded_size(args))
+        # Measured once (and the constant method/src part only on the
+        # first call per method); every retry re-sends a same-sized
+        # envelope (the fresh id is an int like the last one).
+        size = (_request_base(self._size_cache, method, self.host.name)
+                + encoded_size(args))
+        pool = self.deadline_pool
         last_error: Optional[Exception] = None
         for attempt in range(1 + self.retries):
             if attempt:
                 self.retries_sent += 1
+                # The socket may have died *during* this call (a crash
+                # + restart while the previous attempt's deadline ran):
+                # re-check per attempt, or send_to below raises against
+                # a dead socket the client could have replaced.
+                self._ensure_open()
             request_id = next(_request_ids)
             request = {"id": request_id, "method": method,
                        "args": args, "src": self.host.name}
             waiter = self.sim.event()
             self._pending[request_id] = waiter
-            self._socket.send_to(dst, port, request, size=size)
-            deadline = _arm_deadline(self.sim, waiter, self.timeout)
+            try:
+                self._socket.send_to(dst, port, request, size=size)
+            except Exception:
+                # A synchronous send failure (socket closed by a crash
+                # or HostDown) means no reply can ever match this
+                # waiter; leaving it registered would strand it in
+                # _pending until the next _ensure_open sweep fails an
+                # event nobody waits on.
+                self._pending.pop(request_id, None)
+                raise
+            if pool is not None:
+                guard = pool.add(waiter)
+            else:
+                guard = _arm_deadline(self.sim, waiter, self.timeout)
             try:
                 value = yield waiter
             except _DeadlineExpired:
@@ -605,7 +691,11 @@ class UdpRpcClient:
                 self.faults += 1
                 raise
             finally:
-                deadline.cancel()  # a successful call leaves no timer behind
+                # A successful call leaves nothing pending behind.
+                if pool is not None:
+                    pool.cancel(guard)
+                else:
+                    guard.cancel()
             return value
         self.timeouts_hit += 1
         raise last_error

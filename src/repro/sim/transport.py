@@ -27,6 +27,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, Generator, Optional
 
+from .deadlines import shared_pool
 from .kernel import Event, Process, Simulator, Store
 from .network import Network
 from .serde import HEADER_OVERHEAD, encoded_size
@@ -206,9 +207,7 @@ class Host:
         delivered = self.network.deliver(
             self.site, dst.site, dst.name, _HANDSHAKE_SIZE, on_syn_arrival,
             reliable=True)
-        timer = self.sim.timeout(timeout)
-
-        def expire(_event: Event) -> None:
+        def expire() -> None:
             # Pre-defused: the connecting process may have died while
             # waiting (its host crashed); the expiry then passes
             # silently instead of crashing the simulation.
@@ -219,11 +218,15 @@ class Host:
                     % (dst.name, port,
                        "" if delivered else " (unreachable)")))
 
-        timer.add_callback(expire)
+        # The guard joins the simulator-wide deadline pool instead of
+        # arming its own kernel timer (one armed timer covers every
+        # pending connect/call guard in the world).
+        pool = shared_pool(self.sim)
+        guard = pool.add(expire, timeout)
         try:
             yield reply  # raises ConnectRefused / ConnectTimeout
         finally:
-            timer.cancel()  # successful handshakes leave no timer behind
+            pool.cancel(guard)  # handshakes leave nothing pending behind
         listener = dst._tcp_listeners.get(port)
         if listener is None or not dst.up:
             raise ConnectRefused("%s:%d refused" % (dst.name, port))

@@ -14,6 +14,7 @@ import random
 from typing import Any, Dict, Optional, Union
 
 from ..analysis.telemetry import MetricsRegistry
+from .deadlines import shared_pool
 from .kernel import Process, Simulator
 from .network import LinkParameters, Network
 from .topology import Domain, Topology
@@ -42,6 +43,11 @@ class World:
         self.hosts: Dict[str, Host] = {}
         self.metrics = MetricsRegistry()
         self.sim.bind_metrics(self.metrics)
+        # The simulator-wide mixed-deadline pool (channel call
+        # timeouts, connect guards) reports next to the kernel's own
+        # timer counters.
+        shared_pool(self.sim).bind_metrics(self.metrics,
+                                           "kernel.deadline_pool")
         self.network.meter.bind_metrics(self.metrics)
 
     # -- host management --------------------------------------------------

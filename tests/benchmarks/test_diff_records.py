@@ -73,3 +73,24 @@ def test_diff_main_is_informational_only(differ, tmp_path, capsys):
     # Unusable directories are a usage error.
     assert differ.main(["--old", str(tmp_path / "nope"),
                         "--new", str(new)]) == 2
+
+
+def test_diff_includes_timer_churn_ratio(differ, tmp_path):
+    old = tmp_path / "old"
+    new = tmp_path / "new"
+    _write(old, "kernel_echo", {"requests_per_sec": 1000.0,
+                                "timers_per_request": 3.0})
+    _write(new, "kernel_echo", {"requests_per_sec": 1200.0,
+                                "timers_per_request": 2.01})
+
+    rows = differ.diff_directories(old, new)
+    by_key = {(r["name"], r["metric"]): r for r in rows}
+    ratio = by_key[("kernel_echo", "timers_per_request")]
+    assert ratio["old"] == 3.0 and ratio["new"] == 2.01
+
+    table = differ.format_table(rows, "prev", "this")
+    # Ratios print with decimals and are flagged as lower-is-better,
+    # right next to the rate diff.
+    assert "2.010" in table
+    assert "-33.0%" in table
+    assert "(lower is better)" in table

@@ -600,3 +600,44 @@ def test_determinism_two_runs_identical():
         return log
 
     assert build() == build()
+
+
+def test_timeout_at_with_reserved_seq_fires_at_reserved_position():
+    """A timer armed late with a reserved sequence number fires as if
+    it had been armed when the number was drawn — the contract the
+    deadline pools (repro.sim.deadlines) are built on."""
+    sim = Simulator()
+    order = []
+
+    def note(label):
+        return lambda _e: order.append(label)
+
+    reserved = sim.reserve_seq()
+    sim.timeout_at(1.0).add_callback(note("armed-first"))
+    # Armed *after* the plain timer, but at the reserved (earlier)
+    # position: it must fire first at the shared instant.
+    sim.timeout_at(1.0, seq=reserved).add_callback(note("reserved"))
+    sim.run()
+    assert order == ["reserved", "armed-first"]
+    assert sim.now == 1.0
+
+
+def test_reserved_seq_merges_with_run_queue_ties():
+    """A reserved-seq timer tying the current instant outranks run-queue
+    events enqueued after the reservation, exactly as a timer armed at
+    reservation time would have."""
+    sim = Simulator()
+    order = []
+
+    def driver():
+        yield sim.timeout(1.0)
+        reserved = sim.reserve_seq()
+        ev = sim.event()
+        ev.add_callback(lambda _e: order.append("triggered"))
+        ev.succeed()  # run queue, seq drawn after the reservation
+        sim.timeout_at(sim.now, seq=reserved).add_callback(
+            lambda _e: order.append("reserved-tie"))
+        yield sim.timeout(1.0)
+
+    sim.run_until_complete(sim.process(driver()))
+    assert order == ["reserved-tie", "triggered"]

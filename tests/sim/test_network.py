@@ -129,3 +129,91 @@ def test_meter_reset_and_snapshot(net):
     assert snap["SITE"] == 42
     net.meter.reset()
     assert net.meter.total_bytes == 0
+
+
+# -- partition-membership caching -------------------------------------------
+
+
+def _naive_crosses(partitioned, site_a, site_b):
+    """The pre-cache reference: one ancestor walk per partitioned
+    domain per message."""
+    for domain in partitioned:
+        inside_a = any(anc is domain for anc in site_a.ancestors())
+        inside_b = any(anc is domain for anc in site_b.ancestors())
+        if inside_a != inside_b:
+            return True
+    return False
+
+
+def test_partition_cache_matches_naive_walk_across_mutations(net):
+    topo = net.topology
+    sites = list(topo.sites)
+    mutations = [
+        ("partition", topo.domain("r0")),
+        ("partition", topo.domain("r1/c0")),
+        ("partition", topo.domain("r0/c1/m0")),
+        ("heal", topo.domain("r0")),
+        ("partition", topo.site("r1/c1/m1/s1")),
+        ("heal", topo.domain("r1/c0")),
+        ("heal", topo.domain("r0/c1/m0")),
+        ("heal", topo.site("r1/c1/m1/s1")),
+    ]
+    for op, domain in mutations:
+        if op == "partition":
+            net.partition_domain(domain)
+        else:
+            net.heal_domain(domain)
+        for a in sites:
+            for b in sites:
+                assert net._crosses_partition(a, b) \
+                    == _naive_crosses(net._partitioned, a, b), \
+                    (op, domain.path, a.path, b.path)
+    assert not net._partitioned
+
+
+def test_partition_cache_is_invalidated_on_partition_and_heal(net):
+    topo = net.topology
+    a = topo.site("r0/c0/m0/s0")
+    b = topo.site("r1/c0/m0/s0")
+    assert not net._crosses_partition(a, b)
+    net.partition_domain(topo.domain("r0"))
+    assert net._crosses_partition(a, b)   # stale cache would say False
+    net.heal_domain(topo.domain("r0"))
+    assert not net._crosses_partition(a, b)
+
+
+def test_partition_drop_metering_is_byte_identical_to_naive_walk():
+    """Replaying the same partitioned traffic against the cached and
+    the naive membership check meters byte-identical ledgers — the
+    cache is a pure optimisation."""
+
+    class NaiveNetwork(Network):
+        def _crosses_partition(self, site_a, site_b):
+            return _naive_crosses(self._partitioned, site_a, site_b)
+
+    def one_run(cls):
+        sim = Simulator()
+        topo = Topology.balanced(regions=2, countries=2, cities=2, sites=2)
+        network = cls(sim, topo, seed=5)
+        sites = list(topo.sites)
+        r0 = topo.domain("r0")
+        c1 = topo.domain("r1/c1")
+        for step in range(400):
+            if step == 60:
+                network.partition_domain(r0)
+            if step == 180:
+                network.partition_domain(c1)
+            if step == 240:
+                network.heal_domain(r0)
+            if step == 330:
+                network.heal_domain(c1)
+            src = sites[(step * 7) % len(sites)]
+            dst = sites[(step * 13 + 3) % len(sites)]
+            network.deliver(src, dst, "host-%d" % (step % 5), 100 + step,
+                            lambda _e: None, reliable=(step % 3 == 0))
+        sim.run()
+        meter = network.meter
+        return (meter.snapshot(), dict(meter.messages_by_level),
+                meter.dropped_messages)
+
+    assert one_run(Network) == one_run(NaiveNetwork)

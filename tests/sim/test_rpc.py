@@ -418,7 +418,7 @@ def test_request_envelope_size_matches_live_walk():
     """The precomputed envelope constants must mirror encoded_size
     exactly — accounting (and so transfer delays) must not shift by a
     byte when the memoised path is used."""
-    from repro.sim.rpc import _request_size
+    from repro.sim.rpc import _request_base, _request_size
     from repro.sim.serde import encoded_size
 
     for method, src, args in [
@@ -431,6 +431,12 @@ def test_request_envelope_size_matches_live_walk():
                    "src": src}
         assert _request_size(method, src, encoded_size(args)) \
             == encoded_size(request), (method, src, args)
+        # The per-(client, method) memoised base must agree, on the
+        # cold miss and on the cached probe alike.
+        cache = {}
+        for _ in range(2):
+            assert _request_base(cache, method, src) + encoded_size(args) \
+                == encoded_size(request), (method, src, args)
 
 
 def test_reply_envelope_size_matches_live_walk():
@@ -469,3 +475,193 @@ def test_udp_retry_resends_same_sized_envelope(world):
     sent = meter.total_bytes - before
     assert sent % 3 == 0, "three identical attempts must charge equally"
     assert client.retries_sent == 2
+
+
+# -- pooled guard deadlines --------------------------------------------------
+
+
+def test_udp_send_failure_does_not_leak_waiter(world):
+    # Regression: a synchronous send_to failure (socket destroyed by a
+    # crash, no restart yet) used to leave the fresh waiter registered
+    # in _pending, where the next _ensure_open sweep would fail an
+    # event nobody waits on.
+    from repro.sim.transport import TransportError
+
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")
+    client = UdpRpcClient(a, timeout=0.5, retries=1)
+    outcome = []
+
+    def caller():
+        try:
+            yield from client.call(b, 5300, "lookup", {"key": "x"})
+        except TransportError:
+            outcome.append("send failed")
+
+    a.crash()  # closes the client's socket; host stays down
+    world.sim.process(caller())  # survives: not registered with host a
+    world.run()
+    assert outcome == ["send failed"]
+    assert client._pending == {}
+    assert client.deadline_pool.live == 0
+
+
+def test_udp_crash_restart_mid_retry_recovers(world):
+    # Regression: _ensure_open ran only once per call, so a crash +
+    # restart while the first attempt's deadline was pending made the
+    # retry loop raise against the destroyed socket instead of
+    # re-opening and retrying.
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")
+    client = UdpRpcClient(a, timeout=0.5, retries=2)
+    result = []
+
+    def caller():
+        value = yield from client.call(b, 5300, "lookup", {"key": "ab"})
+        result.append((value, world.now))
+
+    world.sim.process(caller())  # survives the crash below
+
+    def chaos():
+        yield world.sim.timeout(0.2)
+        a.crash()
+        a.restart()
+        # The server comes up before the first attempt's deadline, so
+        # the *second* attempt (sent on a re-opened socket) succeeds.
+        _udp_server(world, b)
+
+    proc = world.sim.process(chaos())
+    world.run_until(proc, limit=100)
+    world.run()
+    assert result and result[0][0] == {"found": "AB"}
+    assert client.retries_sent == 1
+    assert client._pending == {}
+
+
+def test_udp_server_stop_mid_serve_is_not_counted(world):
+    # Regression: _reply incremented requests_served even when stop()
+    # had closed the socket, drifting served-vs-answered accounting.
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")
+    server = UdpRpcServer(b, 5300)
+    server.register("quick", lambda ctx, args: "ok")
+
+    def slow(ctx, args):
+        yield world.sim.timeout(1.0)
+        return "late"
+
+    server.register("slow", slow)
+    server.start()
+    client = UdpRpcClient(a, timeout=0.3, retries=1)
+    outcome = []
+
+    def caller():
+        value = yield from client.call(b, 5300, "quick", {})
+        outcome.append(value)
+        try:
+            yield from client.call(b, 5300, "slow", {})
+        except RpcTimeout:
+            outcome.append("timed out")
+
+    def stopper():
+        yield world.sim.timeout(0.5)
+        server.stop()
+
+    proc = a.spawn(caller())
+    world.sim.process(stopper())
+    world.run_until(proc, limit=100)
+    world.run()
+    assert outcome == ["ok", "timed out"]
+    # One reply actually went out (the quick call); the slow reply was
+    # unsendable after stop() and must not count as served.
+    assert server.requests_served == 1
+
+
+def test_udp_guarded_calls_pool_timer_churn(world):
+    # The tentpole's acceptance numbers: guarded calls must no longer
+    # cost one kernel timer each.  An echo round trip schedules two
+    # delivery timers; the guard contribution drops from 1 per call to
+    # ~timeout/RTT per call via the pool.
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("node", "r0/c0/m0/s1")  # same site: ~0.7ms RTT
+    _udp_server(world, b)
+    client = UdpRpcClient(a)
+    calls = 200
+
+    def run():
+        for index in range(calls):
+            yield from client.call(b, 5300, "lookup", {"key": "k%d" % index})
+
+    before = world.sim.timers_scheduled
+    proc = a.spawn(run())
+    world.run_until(proc, limit=1000)
+    scheduled = world.sim.timers_scheduled - before
+    # Two delivery timers per round trip + well under one guard arm
+    # per call (the pool re-arms roughly once per timeout interval).
+    assert scheduled / calls < 2.2, scheduled
+    pool = client.deadline_pool
+    assert pool.armed_total == calls
+    assert pool.timer_arms < calls / 10
+    assert pool.live == 0
+    world.run()
+    assert len(pool) == 0
+    assert world.sim.heap_size == 0
+    assert world.sim.stale_timer_count == 0
+
+
+def test_pooled_and_per_call_guards_are_byte_identical_under_loss(world):
+    # The pooled client must replay *exactly* like the per-call-timer
+    # reference implementation — same completion times, same retry and
+    # timeout counts — even when heavy loss exercises every expiry
+    # path.  (The broader trace-replay pin lives in
+    # tests/workloads/test_scenario_engine.py.)
+    def one_run(pooled):
+        w = World(topology=Topology.balanced(2, 2, 2, 2), seed=3)
+        w.network.params.loss[Level.WORLD] = 0.5
+        a = w.host("client", "r0/c0/m0/s0")
+        b = w.host("node", "r1/c0/m0/s0")
+        _udp_server(w, b)
+        client = UdpRpcClient(a, timeout=0.4, retries=3, pooled=pooled)
+        trail = []
+
+        def caller():
+            for index in range(150):
+                try:
+                    value = yield from client.call(b, 5300, "lookup",
+                                                   {"key": "k%d" % index})
+                    trail.append((w.now, "ok", value["found"]))
+                except RpcTimeout:
+                    trail.append((w.now, "timeout", index))
+
+        proc = a.spawn(caller())
+        w.run_until(proc, limit=1e6)
+        return trail, w.now, client.retries_sent, client.timeouts_hit
+
+    pooled = one_run(True)
+    reference = one_run(False)
+    assert pooled == reference
+    assert pooled[2] > 0  # the loss actually exercised retries
+
+
+def test_channel_timeouts_share_the_simulator_pool(world):
+    from repro.sim.deadlines import shared_pool
+
+    a = world.host("client", "r0/c0/m0/s0")
+    b = world.host("server", "r0/c0/m0/s1")
+    _echo_server(world, b)
+    pool = shared_pool(world.sim)
+
+    def client():
+        channel = yield from RpcChannel.open(a, b, 7000)
+        for i in range(20):
+            yield from channel.call("add", {"a": i, "b": 1}, timeout=5.0)
+        channel.close()
+
+    armed_before = pool.armed_total
+    proc = a.spawn(client())
+    world.run_until(proc, limit=100)
+    # One guard per call plus the connect guard, all pooled.
+    assert pool.armed_total - armed_before == 21
+    assert pool.live == 0
+    world.run()
+    assert len(pool) == 0

@@ -866,3 +866,82 @@ def test_window_invariants_check_every_matching_window():
     failed = dict(report.failures)
     assert "fails on the first burst window" in failed
     assert "sees every burst window" not in failed
+
+
+def test_deadline_pool_trace_replay_matches_per_call_timers():
+    """The ISSUE 5 determinism pin: replaying the committed flash-crowd
+    trace through *guarded* UDP calls (loss, retries, expiring guard
+    timers) yields byte-identical LoadStats whether the guards run on
+    the pooled deadline subsystem or on dedicated per-call timers."""
+    from repro.sim.topology import Level
+    from repro.sim.rpc import RpcTimeout
+    from repro.workloads.scenario import bundled_trace
+
+    path = bundled_trace("flash_crowd_small.jsonl")
+
+    def one_run(pooled):
+        world = World(topology=Topology.balanced(2, 2, 1, 2), seed=17)
+        # Heavy wide-area loss: guards expire, retries fire, some calls
+        # exhaust the budget — every deadline path gets exercised.
+        world.network.params.loss[Level.WORLD] = 0.5
+        client_host = world.host("client", "r0/c0/m0/s0")
+        server_host = world.host("gls", "r1/c0/m0/s0")
+        server = UdpRpcServer(server_host, 5300)
+        server.register("lookup", lambda ctx, args: args["rank"])
+        server.start()
+        client = UdpRpcClient(client_host, timeout=0.25, retries=2,
+                              pooled=pooled)
+
+        def request(arrival):
+            try:
+                value = yield from client.call(server_host, 5300, "lookup",
+                                               {"rank": arrival.rank})
+            except RpcTimeout:
+                return False
+            return value == arrival.rank
+
+        scenario = TraceScenario.from_file(path, topology=world.topology)
+        stats, elapsed = _drive(world.sim, scenario, request, seed=29)
+        return (stats.summary(), stats.latency.state(), elapsed,
+                client.retries_sent, client.timeouts_hit, world.now)
+
+    pooled = one_run(True)
+    reference = one_run(False)
+    assert pooled == reference
+    assert pooled[0]["issued"] == 140
+    assert pooled[3] > 0           # retries actually happened
+    assert pooled[0]["failed"] > 0  # and some calls timed out for good
+
+
+def test_loadgen_10k_guarded_calls_drain_pools_and_heap():
+    """A 10^4-request open-loop run of guarded UDP calls leaves zero
+    stale timers, an empty kernel heap and fully drained deadline
+    pools — nothing accumulates per call."""
+    from repro.sim.deadlines import shared_pool
+
+    world = World(topology=Topology.balanced(1, 1, 1, 2), seed=9)
+    client_host = world.host("client", "r0/c0/m0/s0")
+    server_host = world.host("node", "r0/c0/m0/s1")
+    server = UdpRpcServer(server_host, 5300)
+    server.register("echo", lambda ctx, args: args["x"])
+    server.start()
+    client = UdpRpcClient(client_host)
+
+    def request(arrival):
+        value = yield from client.call(server_host, 5300, "echo",
+                                       {"x": arrival.index})
+        return value == arrival.index
+
+    scenario = OpenLoopScenario(UniformSchedule(2000.0), 10_000)
+    stats, _elapsed = _drive(world.sim, scenario, request, seed=5)
+    assert stats.ok == 10_000
+    pool = client.deadline_pool
+    assert pool.armed_total == 10_000
+    assert pool.live == 0
+    # Far fewer kernel arms than guarded calls — the pooling win.
+    assert pool.timer_arms < 100
+    world.run()  # let the last armed timer fire and sweep
+    assert len(pool) == 0
+    assert len(shared_pool(world.sim)) == 0
+    assert world.sim.stale_timer_count == 0
+    assert world.sim.heap_size == 0
