@@ -1,0 +1,168 @@
+"""Population scaling: wall-clock and req/s vs simulated users.
+
+The million-user headline of the aggregated-cohort model (ISSUE 6):
+one :class:`AggregatedPopulation` generator per (site, cohort) drives
+thousands of merged clients through a single order-statistics arrival
+process, and the server answers each request with one
+``send_burst``-batched fragment download — so kernel cost scales with
+*activity*, not with population.
+
+The benchmark sweeps population 10^3 → 10^6 under a committed diurnal
+profile, records wall-clock, requests/sec (real time) and
+wall-clock-per-simulated-user at every scale, and persists the sweep
+as ``results/scaling_population.json`` under the perf-trajectory gate
+(the gated rates come from the largest scale swept).  Total request
+count is held constant across scales (think time grows with
+population), so the sweep isolates the cost of *representing users* —
+which is exactly what aggregation is supposed to crush: wall clock
+must grow far slower than population.
+"""
+
+import os
+import time
+
+from conftest import best_of as _best_of, save_json
+
+from repro.sim.topology import Topology
+from repro.sim.world import World
+from repro.workloads.cohort import CohortScenario, DiurnalProfile
+from repro.workloads.loadgen import LoadStats
+from repro.workloads.scenario import RequestMix
+
+# Full-scale default sweeps to one million simulated users; CI smoke
+# caps the sweep (and shrinks the simulated day) via env.
+POP_MAX = int(os.environ.get("BENCH_POP_MAX", 1_000_000))
+SIM_DURATION = float(os.environ.get("BENCH_POP_DURATION", 600.0))
+FRAGMENTS = int(os.environ.get("BENCH_POP_FRAGMENTS", 8))
+#: Total requests targeted per scale — held constant across the sweep
+#: (think time grows with population) so the only thing that varies is
+#: how many *users* the kernel must represent.
+REQUEST_TOTAL = int(os.environ.get("BENCH_POP_REQUESTS", 200_000))
+
+SCALES = [s for s in (1_000, 10_000, 100_000, 1_000_000) if s <= POP_MAX]
+
+
+def run_scale(population: int) -> dict:
+    world = World(topology=Topology.balanced(4, 4, 4, 4), seed=42)
+    sim = world.sim
+    topo = world.topology
+
+    # One origin server; every request is a fragment download the
+    # server answers with a single batched burst (deliver_burst).
+    server = world.host("origin", topo.site("r0/c0/m0/s0"))
+    server_sock = server.udp_socket(80)
+
+    def serve():
+        while True:
+            datagram = yield server_sock.recv()
+            reply_port, fragments = datagram.payload
+            server_sock.send_burst(
+                datagram.src_host, reply_port,
+                [(("frag", index), 4096) for index in range(fragments)])
+
+    server.spawn(serve())
+
+    client_sites = topo.sites[1:]
+    hosts = {site.path: world.host("client@" + site.path, site)
+             for site in client_sites}
+
+    def download(arrival):
+        host = hosts[arrival.site.path]
+        sock = host.udp_socket()
+        sock.send_to(server, 80, (sock.port, FRAGMENTS), size=64)
+        received = 0
+        while received < FRAGMENTS:
+            yield sock.recv()
+            received += 1
+        sock.close()
+        return True
+
+    # Mean think time such that the diurnally-modulated issue rate
+    # integrates to REQUEST_TOTAL over the run, independent of scale:
+    # clients * mean_multiplier * duration / think ≈ REQUEST_TOTAL.
+    profile = DiurnalProfile.sinusoidal(slots=24, floor=0.2,
+                                        period=SIM_DURATION)
+    think = (population * profile.mean_multiplier() * SIM_DURATION
+             / REQUEST_TOTAL)
+    scenario = CohortScenario(population, think, duration=SIM_DURATION,
+                              sites=client_sites,
+                              mix=RequestMix(1024, alpha=1.0,
+                                             write_fraction=0.0),
+                              cohort_size=8192, profile=profile)
+
+    import random
+    stats = LoadStats()
+    started = time.perf_counter()
+    elapsed = world.run_until(
+        sim.process(scenario.drive(sim, download, rng=random.Random(7),
+                                   stats=stats)),
+        limit=1e12)
+    wall = time.perf_counter() - started
+    assert stats.in_flight == 0
+    assert stats.issued > 0
+    assert elapsed >= SIM_DURATION
+    return {
+        "population": population,
+        "wall_clock_sec": wall,
+        "wall_clock_us_per_user": wall / population * 1e6,
+        "requests_issued": stats.issued,
+        "requests_per_sec": stats.issued / wall,
+        "events_per_sec": sim.events_processed / wall,
+        "events_processed": sim.events_processed,
+        "timers_scheduled": sim.timers_scheduled,
+        "burst_calls": world.network.burst_calls,
+        "burst_messages": world.network.burst_messages,
+        "peak_heap_size": sim.peak_heap_size,
+    }
+
+
+def test_population_scaling(benchmark):
+    """Sweep 10^3 → POP_MAX; gate rates at the largest scale."""
+
+    def measure():
+        sweep = [run_scale(population) for population in SCALES]
+        head = sweep[-1]
+        record = {
+            "requests_per_sec": head["requests_per_sec"],
+            "events_per_sec": head["events_per_sec"],
+            "population": head["population"],
+            "wall_clock_sec": head["wall_clock_sec"],
+            "wall_clock_us_per_user": head["wall_clock_us_per_user"],
+            "timers_per_request":
+                head["timers_scheduled"] / head["requests_issued"],
+            "events_per_request":
+                head["events_processed"] / head["requests_issued"],
+            "sweep": sweep,
+        }
+        return record, sweep
+
+    metrics, sweep = _best_of(benchmark, measure, "requests_per_sec",
+                              passes=1)
+
+    lines = ["population scaling (diurnal, %d-fragment burst downloads)"
+             % FRAGMENTS,
+             "%10s %12s %14s %12s %16s" % ("users", "requests",
+                                           "wall-clock(s)", "req/s",
+                                           "us-per-user")]
+    for row in sweep:
+        lines.append("%10d %12d %14.2f %12.0f %16.2f"
+                     % (row["population"], row["requests_issued"],
+                        row["wall_clock_sec"], row["requests_per_sec"],
+                        row["wall_clock_us_per_user"]))
+    print()
+    print("\n".join(lines))
+
+    # Aggregation contract: with total activity held constant, wall
+    # clock must grow far slower than population.  Allow generous
+    # slack for per-cohort overhead and runner noise, but
+    # linear-in-population blowups fail loudly.
+    if len(sweep) >= 2:
+        first, last = sweep[0], sweep[-1]
+        scale_up = last["population"] / first["population"]
+        slow_down = last["wall_clock_sec"] / max(first["wall_clock_sec"],
+                                                 1e-9)
+        assert slow_down < scale_up * 0.5, \
+            "wall clock tracked population growth: %r" % (sweep,)
+    benchmark.extra_info.update(
+        {key: value for key, value in metrics.items() if key != "sweep"})
+    save_json("scaling_population", metrics)

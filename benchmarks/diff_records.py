@@ -29,9 +29,11 @@ from check_trajectory import RATE_METRICS
 
 #: Ratio metrics ride along in the diff table (never gated): the
 #: timers-scheduled-per-request ratio makes cross-PR timer-churn
-#: regressions visible right next to the rate diff.  Unlike the
-#: rates, lower is better.
-RATIO_METRICS = ("timers_per_request", "events_per_request")
+#: regressions visible right next to the rate diff, and the
+#: wall-clock-per-simulated-user ratio does the same for the
+#: population-scaling bench.  Unlike the rates, lower is better.
+RATIO_METRICS = ("timers_per_request", "events_per_request",
+                 "wall_clock_us_per_user")
 
 
 def diff_directories(old_dir: pathlib.Path, new_dir: pathlib.Path

@@ -79,6 +79,7 @@ __all__ = [
     "Simulator",
     "Event",
     "Timeout",
+    "BatchTimeout",
     "Process",
     "AnyOf",
     "AllOf",
@@ -264,6 +265,88 @@ class Timeout(Event):
         self._entry = None
         self.sim._invalidate(entry)
         return True
+
+
+class BatchTimeout:
+    """One armed kernel timer delivering a whole batch of callbacks.
+
+    The batch form of the deadline-pool idiom: a caller that must
+    schedule *n* callbacks — a same-site-pair burst of datagram
+    arrivals, typically — reserves one sequence number per callback
+    (:meth:`Simulator.reserve_seq`, in scheduling order), sorts the
+    ``[at, seq, callback]`` entries by ``(at, seq)``, and hands the
+    whole batch here.  Only the head entry occupies the timer heap at
+    any moment; each firing consumes every entry that shares the
+    fired instant *inline* and re-arms once for the next instant.  A
+    burst of n same-instant arrivals therefore costs one heap entry
+    and one kernel event instead of n of each.
+
+    Exactness contract: the reserved sequence numbers must form a
+    **contiguous block** (no other sequence number may be drawn
+    between the first and last reservation).  Then no foreign event
+    can occupy a ``(time, seq)`` position strictly between two batch
+    entries at the same instant, so consuming them inline back-to-back
+    fires every callback at exactly the position a dedicated per-entry
+    :class:`Timeout` would have given it.  Entries at later instants
+    re-arm through :meth:`Simulator.timeout_at` with their reserved
+    sequence number, which preserves their positions exactly.
+
+    A head entry whose instant is *now* is admitted straight to the
+    run queue (:meth:`Simulator._enqueue_reserved`) — the same-instant
+    vector never touches the heap at all.
+
+    Batch entries are not individually cancellable (network arrivals
+    never are); cancel nothing or build per-entry :class:`Timeout`\\ s.
+    """
+
+    __slots__ = ("sim", "_entries", "_index")
+
+    def __init__(self, sim: "Simulator", entries: list):
+        """``entries``: a list of ``[at, seq, callback]`` lists sorted
+        by ``(at, seq)``, with ``seq`` values reserved via
+        :meth:`Simulator.reserve_seq` as one contiguous block and every
+        ``at`` >= ``sim.now``."""
+        self.sim = sim
+        self._entries = entries
+        self._index = 0
+        if entries:
+            self._arm()
+
+    @property
+    def pending(self) -> int:
+        """Entries not yet fired."""
+        return len(self._entries) - self._index
+
+    def _arm(self) -> None:
+        at, seq, _callback = self._entries[self._index]
+        sim = self.sim
+        if at <= sim.now:
+            # Same-instant head: run-queue admission at the reserved
+            # position — no heap traffic for an immediate batch.
+            event = Event(sim)
+            event._ok = True
+            event._value = None
+            event.add_callback(self._fire)
+            sim._enqueue_reserved(seq, event)
+        else:
+            timer = Timeout(sim, 0.0, at=at, seq=seq)
+            timer.add_callback(self._fire)
+
+    def _fire(self, event: Event) -> None:
+        # Consume the head entry, then every later entry sharing the
+        # current instant (exact: the reserved block is contiguous, so
+        # nothing can be scheduled between them), then re-arm once.
+        entries = self._entries
+        index = self._index
+        now = self.sim.now
+        count = len(entries)
+        while index < count and entries[index][0] <= now:
+            callback = entries[index][2]
+            index += 1
+            self._index = index
+            callback(event)
+        if index < count:
+            self._arm()
 
 
 class Process(Event):
@@ -575,6 +658,29 @@ class Simulator:
         if len(self._heap) > self.peak_heap_size:
             self.peak_heap_size = len(self._heap)
         return entry
+
+    def _enqueue_reserved(self, seq: int, event: Event) -> None:
+        """Admit a pre-triggered event to the run queue at a *reserved*
+        sequence position (:meth:`reserve_seq`).
+
+        The run queue is kept in ascending sequence order by
+        construction (every ``_enqueue`` draws a fresh, larger
+        number), so a reserved admission is only legal while the
+        reserved number is still newer than everything queued — i.e.
+        immediately after reserving, before any other event is
+        enqueued.  :class:`BatchTimeout` uses this to land a
+        same-instant batch head in the run queue without touching the
+        timer heap.  ``event`` must already carry its outcome
+        (``_ok``/``_value`` set); it is processed like any triggered
+        event.
+        """
+        ready = self._ready
+        if ready and ready[-1][0] >= seq:
+            raise SimulationError(
+                "reserved seq %d is older than the run-queue tail" % seq)
+        ready.append((seq, event))
+        if len(ready) > self.peak_ready_size:
+            self.peak_ready_size = len(ready)
 
     def reserve_seq(self) -> int:
         """Draw the next global sequence number without scheduling.

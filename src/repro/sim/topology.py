@@ -56,6 +56,19 @@ class Domain:
         self.level = level
         self.parent = parent
         self.children: Dict[str, "Domain"] = {}
+        # A domain's ancestry is fixed at construction (parents are
+        # never re-assigned), so the root-to-self chain and the path
+        # string can be computed once here instead of walking the tree
+        # per query — lca/separation and Request construction sit on
+        # hot per-message paths at thousand-site scale.
+        if parent is None:
+            self._lineage: tuple = (self,)
+            self._path = ""
+        else:
+            self._lineage = parent._lineage + (self,)
+            self._path = (name if parent.parent is None
+                          else parent._path + "/" + name)
+        self._region: Optional["Domain"] = None
         if parent is not None:
             if name in parent.children:
                 raise TopologyError(
@@ -65,12 +78,7 @@ class Domain:
     @property
     def path(self) -> str:
         """Slash-separated path from the world root, e.g. ``eu/nl/ams/vu``."""
-        parts: List[str] = []
-        node: Optional[Domain] = self
-        while node is not None and node.parent is not None:
-            parts.append(node.name)
-            node = node.parent
-        return "/".join(reversed(parts))
+        return self._path
 
     def ancestors(self) -> Iterator["Domain"]:
         """This domain, then its parent, up to and including the root."""
@@ -87,7 +95,18 @@ class Domain:
         the full chain) fall back to the topmost ancestor below the
         root, or to ``self`` when the domain stands alone — callers get
         a usable grouping key instead of an IndexError.
+
+        The result is memoised on first call: ancestry is immutable,
+        and ``Request.__init__`` resolves a region per request on the
+        hot workload path.
         """
+        region = self._region
+        if region is None:
+            region = self._resolve_region()
+            self._region = region
+        return region
+
+    def _resolve_region(self) -> "Domain":
         candidate = self
         for node in self.ancestors():
             if node.level == Level.REGION:
@@ -202,15 +221,25 @@ class Topology:
 
     @staticmethod
     def lca(a: Domain, b: Domain) -> Domain:
-        """Lowest common ancestor of two domains."""
-        seen = set()
-        for node in a.ancestors():
-            seen.add(id(node))
-        for node in b.ancestors():
-            if id(node) in seen:
-                return node
-        raise TopologyError(
-            "domains %r and %r share no ancestor" % (a, b))
+        """Lowest common ancestor of two domains.
+
+        Each domain carries its root-to-self chain precomputed
+        (``_lineage``), so this is an allocation-free O(depth) prefix
+        compare instead of building an ancestor set per query — the
+        difference between thousand-site topologies warming a
+        separation cache in milliseconds versus seconds.
+        """
+        lineage_a = a._lineage
+        lineage_b = b._lineage
+        if lineage_a[0] is not lineage_b[0]:
+            raise TopologyError(
+                "domains %r and %r share no ancestor" % (a, b))
+        node = lineage_a[0]
+        for ancestor_a, ancestor_b in zip(lineage_a, lineage_b):
+            if ancestor_a is not ancestor_b:
+                break
+            node = ancestor_a
+        return node
 
     @classmethod
     def separation(cls, a: Domain, b: Domain) -> Level:

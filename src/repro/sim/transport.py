@@ -268,6 +268,39 @@ class UdpSocket:
         self.host.network.deliver(self.host.site, dst.site, dst.name,
                                   wire, deliver, reliable=False)
 
+    def send_burst(self, dst: Host, dst_port: int, items) -> int:
+        """Send many datagrams to one ``dst:dst_port`` as one burst.
+
+        ``items`` is a sequence of ``(payload, size)`` pairs (``size``
+        ``None`` ⇒ measured via ``encoded_size``), in send order.
+        Behaviourally identical to calling :meth:`send_to` once per
+        item — same metering, same loss draws, same arrival ordering —
+        but the whole burst arms a single kernel timer
+        (:meth:`~repro.sim.network.Network.deliver_burst`), which is
+        the cheap path for same-pair fan-out like a multi-fragment
+        download response.  Returns the number scheduled (not lost).
+        """
+        if self.closed:
+            raise TransportError("socket is closed")
+        if not self.host.up:  # inline _require_up (per-burst path)
+            raise HostDown("host %s is down" % self.host.name)
+        host = self.host
+        port = self.port
+        inbox_ok = dst._udp_ports
+        messages = []
+        for payload, size in items:
+            wire = (size if size is not None else encoded_size(payload))
+            wire += HEADER_OVERHEAD
+
+            def deliver(_event, payload=payload, wire=wire) -> None:
+                target = inbox_ok.get(dst_port)
+                if target is not None and not target.closed and dst.up:
+                    target._inbox.put(Datagram(host, port, payload, wire))
+
+            messages.append((wire, deliver))
+        return host.network.deliver_burst(host.site, dst.site, dst.name,
+                                          messages, reliable=False)
+
     def recv(self) -> Event:
         """Event firing with the next :class:`Datagram`."""
         if self.closed:

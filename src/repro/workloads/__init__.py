@@ -1,5 +1,6 @@
 """Workload generators: popularity, packages, populations, load."""
 
+from .cohort import AggregatedPopulation, CohortScenario, DiurnalProfile
 from .loadgen import (Arrival, ArrivalSchedule, BurstSchedule,
                       FlashCrowdSchedule, LoadGenerator, LoadStats,
                       PoissonSchedule, UniformSchedule)
@@ -13,6 +14,7 @@ from .webtrace import WebDocument, make_web_trace
 from .zipf import ZipfSampler
 
 __all__ = [
+    "AggregatedPopulation", "CohortScenario", "DiurnalProfile",
     "Arrival", "ArrivalSchedule", "BurstSchedule", "FlashCrowdSchedule",
     "LoadGenerator", "LoadStats", "PoissonSchedule", "UniformSchedule",
     "PackageSpec", "generate_corpus", "synthetic_file",

@@ -40,7 +40,17 @@ class RequestStream:
     """A finite, time-sorted list of requests plus summary stats."""
 
     def __init__(self, requests: List[Request]):
-        self.requests = sorted(requests, key=lambda r: r.time)
+        # Generated and replayed streams are already time-ordered;
+        # verify that in one linear pass and only pay the sort for the
+        # genuinely unsorted caller.
+        previous = float("-inf")
+        for request in requests:
+            if request.time < previous:
+                self.requests = sorted(requests, key=lambda r: r.time)
+                break
+            previous = request.time
+        else:
+            self.requests = list(requests)
 
     def __iter__(self) -> Iterator[Request]:
         return iter(self.requests)

@@ -114,3 +114,71 @@ def test_region_of_shallow_domains():
     site = Domain("campus", Level.SITE, city)
     # Topmost ancestor below the (parentless) root stands in.
     assert site.region() is site
+
+
+# -- thousand-site scale ------------------------------------------------------
+
+
+def test_thousand_site_topology_builds_and_resolves():
+    # 8*8*8*4 = 2048 sites; construction precomputes lineage/path once
+    # per domain, so this stays well under a second.
+    topo = Topology.balanced(regions=8, countries=8, cities=8, sites=4)
+    sites = topo.sites
+    assert len(sites) == 2048
+    probe = topo.site("r7/c7/m7/s3")
+    assert probe.path == "r7/c7/m7/s3"
+    assert probe.region().path == "r7"
+    # Every site resolves its own path back to itself.
+    for site in sites[::97]:
+        assert topo.site(site.path) is site
+
+
+def test_separation_at_scale():
+    topo = Topology.balanced(regions=8, countries=8, cities=8, sites=4)
+    a = topo.site("r0/c0/m0/s0")
+    assert Topology.separation(a, a) == Level.SITE
+    assert Topology.separation(a, topo.site("r0/c0/m0/s1")) == Level.CITY
+    assert Topology.separation(a, topo.site("r0/c0/m7/s0")) == Level.COUNTRY
+    assert Topology.separation(a, topo.site("r0/c7/m0/s0")) == Level.REGION
+    assert Topology.separation(a, topo.site("r7/c0/m0/s0")) == Level.WORLD
+
+
+def test_separation_cache_bounded_by_touched_pairs():
+    # The cache must scale with the pairs actually exercised, not with
+    # site-count squared: thousands of sites with a handful of active
+    # pairs keeps it tiny.
+    from repro.sim.kernel import Simulator
+    from repro.sim.network import Network
+
+    topo = Topology.balanced(regions=8, countries=8, cities=8, sites=4)
+    net = Network(Simulator(), topo)
+    a = topo.site("r0/c0/m0/s0")
+    peers = [topo.site("r%d/c1/m1/s1" % i) for i in range(8)]
+    for peer in peers:
+        for _ in range(3):  # repeats hit the cache, not grow it
+            net.separation(a, peer)
+    assert len(net._separation_cache) == len(peers)
+
+
+def test_lca_deep_vs_shallow_nodes():
+    topo = Topology.balanced(2, 2, 2, 2)
+    site = topo.site("r1/c1/m1/s1")
+    region = topo.domain("r1")
+    assert Topology.lca(site, region) is region
+    assert Topology.lca(region, site) is region
+    assert Topology.lca(site, topo.world) is topo.world
+
+
+def test_region_memoised_for_hand_built_shallow_domains():
+    # region() caches its answer; the memo must hold the *resolved*
+    # domain even for shallow chains that lack a REGION ancestor.
+    city = Domain("metropolis", Level.CITY)
+    site = Domain("campus", Level.SITE, city)
+    first = site.region()
+    assert site.region() is first
+    assert first is site
+    # A full-depth site memoises the true region.
+    topo = Topology.balanced(2, 1, 1, 1)
+    deep = topo.site("r1/c0/m0/s0")
+    assert deep.region() is deep.region()
+    assert deep.region().path == "r1"

@@ -163,3 +163,24 @@ def test_request_region_derived_defensively():
     shallow = Domain("campus", Level.SITE, city)
     request = Request(1.0, "read", shallow, 0)  # must not raise
     assert request.region == shallow.region().path
+
+
+def test_request_stream_skips_sort_when_already_ordered():
+    # RequestStream keeps already-ordered input as-is (no re-sort) and
+    # still sorts genuinely unordered input.
+    from repro.workloads.population import Request, RequestStream
+
+    site = Topology.balanced(1, 1, 1, 1).site("r0/c0/m0/s0")
+    ordered = [Request(float(i), "read", site, i) for i in range(10)]
+    stream = RequestStream(ordered)
+    assert [request.time for request in stream] == [float(i)
+                                                    for i in range(10)]
+    # Ties count as ordered (stable either way).
+    tied = [Request(1.0, "read", site, i) for i in range(4)]
+    assert [request.object_index for request in RequestStream(tied)] \
+        == [0, 1, 2, 3]
+
+    shuffled = [Request(float(t), "read", site, i)
+                for i, t in enumerate([5, 2, 9, 1, 7])]
+    resorted = RequestStream(shuffled)
+    assert [request.time for request in resorted] == [1.0, 2.0, 5.0, 7.0, 9.0]
