@@ -97,6 +97,7 @@ def test_gdn_request_path_throughput(benchmark):
                                     label="gdn-request-path")
         events_before = world.sim.events_processed
         timers_before = world.sim.timers_scheduled
+        lookups_before = gdn.gls.total_requests()
         started = time.perf_counter()
         sim_elapsed = gdn.run(
             scenario.drive(world.sim, one_request,
@@ -116,6 +117,12 @@ def test_gdn_request_path_throughput(benchmark):
                  "events_per_request": events / GDN_REQUESTS,
                  "timers_per_request":
                      (sim.timers_scheduled - timers_before) / GDN_REQUESTS,
+                 # Directory-tree load per served request (the flash-
+                 # crowd cache drives this down; this deployment runs
+                 # cache-off, recording the reference ratio).
+                 "upstream_lookups_per_request":
+                     (gdn.gls.total_requests() - lookups_before)
+                     / GDN_REQUESTS,
                  "peak_heap_size": sim.peak_heap_size,
                  "peak_ready_size": sim.peak_ready_size,
                  "heap_after_run": sim.heap_size,

@@ -29,11 +29,19 @@ from check_trajectory import RATE_METRICS
 
 #: Ratio metrics ride along in the diff table (never gated): the
 #: timers-scheduled-per-request ratio makes cross-PR timer-churn
-#: regressions visible right next to the rate diff, and the
+#: regressions visible right next to the rate diff, the
 #: wall-clock-per-simulated-user ratio does the same for the
-#: population-scaling bench.  Unlike the rates, lower is better.
+#: population-scaling bench, and the upstream-GLS-lookups-per-request
+#: ratio tracks how hard the serving tier leans on the directory
+#: tree.  Unlike the rates, lower is better.
 RATIO_METRICS = ("timers_per_request", "events_per_request",
-                 "wall_clock_us_per_user")
+                 "wall_clock_us_per_user",
+                 "upstream_lookups_per_request")
+
+#: Quality ratios where *higher* is better (the cache's hit rate on
+#: the flash-crowd record); printed alongside but annotated the other
+#: way around.
+QUALITY_METRICS = ("cache_hit_rate",)
 
 
 def diff_directories(old_dir: pathlib.Path, new_dir: pathlib.Path
@@ -47,7 +55,7 @@ def diff_directories(old_dir: pathlib.Path, new_dir: pathlib.Path
         new_record = json.loads(new_path.read_text())
         old_record = (json.loads(old_path.read_text())
                       if old_path.exists() else {})
-        for metric in RATE_METRICS + RATIO_METRICS:
+        for metric in RATE_METRICS + RATIO_METRICS + QUALITY_METRICS:
             if metric not in new_record:
                 continue
             rows.append({
@@ -72,9 +80,10 @@ def format_table(rows: List[dict], label_old: str, label_new: str) -> str:
                                             label_old[:14], label_new[:14],
                                             "change")]
     for row in rows:
-        # Ratios (per-request counts) need decimals; rates do not.
+        # Ratios (per-request counts, hit rates) need decimals; rates
+        # do not.
         value_format = ("%.3f" if row["metric"] in RATIO_METRICS
-                        else "%.0f")
+                        + QUALITY_METRICS else "%.0f")
         if row["old"] is None or row["new"] is None:
             old = "-" if row["old"] is None else value_format % row["old"]
             new = "-" if row["new"] is None else value_format % row["new"]
@@ -83,8 +92,12 @@ def format_table(rows: List[dict], label_old: str, label_new: str) -> str:
                          % (row["name"], row["metric"], old, new, change))
             continue
         change = (row["new"] / row["old"] - 1.0) if row["old"] else 0.0
-        note = "  (lower is better)" if row["metric"] in RATIO_METRICS \
-            else ""
+        if row["metric"] in RATIO_METRICS:
+            note = "  (lower is better)"
+        elif row["metric"] in QUALITY_METRICS:
+            note = "  (higher is better)"
+        else:
+            note = ""
         lines.append("%-24s %-18s %14s %14s  %+7.1f%%%s"
                      % (row["name"], row["metric"],
                         value_format % row["old"],

@@ -39,17 +39,27 @@ class Runtime:
     def __init__(self, world, host: Host, location_service,
                  repository: ImplementationRepository,
                  channel_wrapper: Optional[Callable] = None,
-                 binding_ttl: Optional[float] = None):
+                 binding_ttl: Optional[float] = None,
+                 lookup_cache=None):
         """``binding_ttl`` makes cached bindings soft state: a bind
         older than the TTL is refreshed with a new GLS lookup, so
         long-lived address spaces (HTTPDs) notice replicas that were
-        added or moved after they first bound."""
+        added or moved after they first bound.
+
+        ``lookup_cache`` is an optional
+        :class:`~repro.gdn.cache.GlsLookupCache` (wrapping the same
+        ``location_service``) consulted for the GLS lookup inside
+        :meth:`bind` — TTL/negative/serve-stale caching plus
+        singleflight coalescing of concurrent misses.  ``None`` keeps
+        the direct lookup path byte-identical to the uncached
+        reference."""
         self.world = world
         self.host = host
         self.location_service = location_service
         self.repository = repository
         self.channel_wrapper = channel_wrapper
         self.binding_ttl = binding_ttl
+        self.lookup_cache = lookup_cache
         self.bound: Dict[ObjectId, LocalRepresentative] = {}
         self._bound_at: Dict[ObjectId, float] = {}
         self.binds_performed = 0
@@ -71,7 +81,14 @@ class Runtime:
             age = self.world.now - self._bound_at.get(oid, 0.0)
             if self.binding_ttl is None or age <= self.binding_ttl:
                 return self.bound[oid]
-        wires = yield from self.location_service.lookup(oid.hex)
+        cache = self.lookup_cache
+        if cache is not None:
+            # The per-object cache TTL (the HTTPD's cache policy) also
+            # bounds how long the GLS answer may be reused.
+            wires = yield from cache.lookup(oid.hex, ttl=cache_ttl,
+                                            refresh=refresh)
+        else:
+            wires = yield from self.location_service.lookup(oid.hex)
         if not wires:
             raise BindError("no contact addresses for %r" % oid)
         addresses = [ContactAddress.from_wire(wire) for wire in wires]

@@ -5,32 +5,42 @@ in a particular software package and multiple machines are needed to
 handle such a load."
 
 Servers here are finite: each HTTPD has a worker pool and a fixed CPU
-service time per request.  An open-loop arrival process (driven by
-:class:`~repro.workloads.loadgen.LoadGenerator`) hammers one popular
-package at increasing offered load, against
+service time per request.  A *population of browsers* (a closed-loop
+:class:`~repro.workloads.cohort.CohortScenario`, the paper's "very
+large number of people") hammers one popular package at increasing
+offered load, against
 
 * a single access point backed by the only replica, and
 * an access point + replica in every region.
 
+The offered load stays the x-axis: a point's population is sized so
+``clients / think_time`` equals the offered rate.  At the default
+population (``offered × THINK_TIME`` browsers) the cohorts run in
+byte-identical *equivalence mode* — exactly the reference closed-loop
+clients, multiplexed — while a ``browsers=`` override in the
+hundred-thousands flips the same scenario into the O(1)-per-cohort
+statistical engine, extending the curve to populations the per-client
+engine cannot hold.
+
 Reported per offered load: achieved throughput and mean/p95 response
 time.  Expected shape: the single server saturates at roughly
 ``workers / service_time`` requests per second — queueing delay then
-grows without bound — while the replicated deployment splits the load
-across machines and keeps latency flat well past the single-server
-knee.
+grows with the waiting population — while the replicated deployment
+splits the load across machines and keeps latency flat well past the
+single-server knee.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..analysis.tables import Table, format_seconds
 from ..gdn.deployment import GdnDeployment
 from ..gdn.scenario import ReplicationScenario
 from ..sim.topology import Topology
-from ..workloads.loadgen import LoadStats, UniformSchedule
+from ..workloads.cohort import CohortScenario
+from ..workloads.loadgen import LoadStats
 from ..workloads.packages import synthetic_file
-from ..workloads.scenario import OpenLoopScenario
 
 __all__ = ["run_load_scaling_experiment", "format_result", "assert_shape"]
 
@@ -41,9 +51,18 @@ _FILE = "release.tar.gz"
 WORKERS = 4
 SERVICE_TIME = 0.040  # seconds -> one HTTPD saturates at ~100 req/s
 
+#: Mean browser think time at the default population size.
+THINK_TIME = 10.0
+
+#: Populations up to this size run the cohorts in byte-identical
+#: equivalence mode (the reference per-client replay); beyond it the
+#: O(1) statistical engine takes over.
+EQUIVALENCE_MAX = 2048
+
 
 def _run_deployment(replicate: bool, offered_load: float, seed: int,
-                    request_count: int) -> dict:
+                    request_count: int,
+                    browsers: Optional[int] = None) -> dict:
     topology = Topology.balanced(regions=3, countries=1, cities=1, sites=2)
     gdn = GdnDeployment(topology=topology, seed=seed, secure=False)
     for index, region in enumerate(gdn._regions()):
@@ -65,9 +84,11 @@ def _run_deployment(replicate: bool, offered_load: float, seed: int,
     gdn.run(publish(), host=moderator.host)
     gdn.settle(5.0)
 
-    # Clients spread over all regions; open-loop arrivals at exactly
-    # the offered rate (UniformSchedule keeps the x-axis exact), one
-    # long-lived browser per site shared by all its requests.
+    # Browsers spread over all regions; the population is sized so the
+    # closed loop offers exactly the target rate (clients / think =
+    # offered), and the drive runs long enough to issue about
+    # ``request_count`` requests.  One long-lived browser per site is
+    # shared by all its requests.
     browser_for = gdn.browser_pool("load")
 
     def one_request(arrival):
@@ -75,10 +96,13 @@ def _run_deployment(replicate: bool, offered_load: float, seed: int,
             PACKAGE, _FILE)
         return response.ok
 
-    scenario = OpenLoopScenario(UniformSchedule(offered_load),
-                                request_count,
-                                sites=gdn.world.topology.sites,
-                                label="e10-load")
+    clients = (browsers if browsers is not None
+               else max(1, round(offered_load * THINK_TIME)))
+    scenario = CohortScenario(clients, clients / offered_load,
+                              duration=request_count / offered_load,
+                              sites=gdn.world.topology.sites,
+                              label="e10-load",
+                              equivalence=clients <= EQUIVALENCE_MAX)
     # On the world registry: the latency histogram (O(1) streaming, no
     # sample list at 10^5-request scale) lives beside the HTTPD/GOS
     # counters this deployment bound.
@@ -89,6 +113,7 @@ def _run_deployment(replicate: bool, offered_load: float, seed: int,
     return {
         "replicate": replicate,
         "offered": offered_load,
+        "browsers": clients,
         "achieved": stats.throughput(elapsed),
         "latency": stats.latency,
         "ok": stats.ok,
@@ -97,24 +122,34 @@ def _run_deployment(replicate: bool, offered_load: float, seed: int,
 
 def run_load_scaling_experiment(seed: int = 61,
                                 loads=(40.0, 90.0, 160.0),
-                                request_count: int = 400) -> Dict:
+                                request_count: int = 400,
+                                browsers: Optional[int] = None) -> Dict:
+    """``browsers`` overrides the per-point population size (the think
+    time stretches to keep the offered rate on the x-axis); pass e.g.
+    ``200_000`` to run the curve against a statistical cohort
+    population no per-client engine could hold."""
     rows: List[dict] = []
     for offered in loads:
-        rows.append(_run_deployment(False, offered, seed, request_count))
-        rows.append(_run_deployment(True, offered, seed, request_count))
+        rows.append(_run_deployment(False, offered, seed, request_count,
+                                    browsers=browsers))
+        rows.append(_run_deployment(True, offered, seed, request_count,
+                                    browsers=browsers))
     return {"rows": rows, "requests": request_count,
             "capacity_one": WORKERS / SERVICE_TIME}
 
 
 def format_result(result: Dict) -> str:
-    table = Table(["deployment", "offered req/s", "achieved req/s",
-                   "mean response", "p50 response", "p95 response"],
+    table = Table(["deployment", "offered req/s", "browsers",
+                   "achieved req/s", "mean response", "p50 response",
+                   "p95 response"],
                   title="E10 (extension) / §3.1 - one replica vs one per "
-                        "region under load (single-HTTPD capacity "
-                        "~%.0f req/s)" % result["capacity_one"])
+                        "region under a browser population "
+                        "(single-HTTPD capacity ~%.0f req/s)"
+                        % result["capacity_one"])
     for row in result["rows"]:
         table.add_row("replicated" if row["replicate"] else "single",
                       "%.0f" % row["offered"],
+                      "%d" % row.get("browsers", 0),
                       "%.1f" % row["achieved"],
                       format_seconds(row["latency"].mean),
                       format_seconds(row["latency"].p(50)),

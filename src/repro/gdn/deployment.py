@@ -38,6 +38,7 @@ from ..sim.topology import Domain, Topology
 from ..sim.transport import Host
 from ..sim.world import World
 from .browser import Browser, nearest_access_point
+from .cache import GlsLookupCache
 from .httpd import HTTP_PORT, GdnHttpd
 from .moderator import ModeratorTool
 from .package import PACKAGE_IMPL_ID, PackageSemantics
@@ -54,7 +55,14 @@ class GdnDeployment:
                  batch_window: float = 0.2,
                  link_params: Optional[LinkParameters] = None,
                  tls_costs: Optional[CostModel] = None,
-                 package_code_size: int = 80_000):
+                 package_code_size: int = 80_000,
+                 gls_cache: Union[bool, Dict, None] = None):
+        """``gls_cache`` turns on the flash-crowd GLS-lookup cache for
+        every GDN host (``True`` = defaults, a dict = keyword options
+        for :class:`~repro.gdn.cache.GlsLookupCache`, e.g.
+        ``{"ttl": 30.0, "serve_stale": True}``).  ``None`` (the
+        default) keeps the direct-lookup path byte-identical to the
+        uncached reference deployment."""
         self.world = World(topology=topology or Topology.balanced(2, 2, 2, 2),
                            params=link_params, seed=seed)
         self.secure = secure
@@ -92,6 +100,15 @@ class GdnDeployment:
         self._add_repository_hosts()
         self._build_authority(batch_window)
         self._build_search()
+
+        # -- flash-crowd serving layer (GLS-lookup cache) ------------------
+        if gls_cache is None or gls_cache is False:
+            self._cache_options: Optional[Dict] = None
+        elif gls_cache is True:
+            self._cache_options = {}
+        else:
+            self._cache_options = dict(gls_cache)
+        self.lookup_caches: Dict[str, GlsLookupCache] = {}
 
         # -- application component registries -----------------------------------
         self.object_servers: Dict[str, GlobeObjectServer] = {}
@@ -239,14 +256,35 @@ class GdnDeployment:
         return GlsClient(self.world, host, self.gls,
                          auth_key=self.gls_key if authenticated else None)
 
+    def _lookup_cache(self, host: Host,
+                      upstream: GlsClient) -> Optional[GlsLookupCache]:
+        """The host's GLS-lookup cache (None when caching is off).
+
+        One cache per host, shared by every component there: wire
+        lists are nearest-first *per fetching host*, so per-host is
+        the widest safe sharing — and it means a colocated GOS's
+        register/unregister invalidates the very entry its HTTPD
+        serves, instead of waiting out a TTL."""
+        if self._cache_options is None:
+            return None
+        cache = self.lookup_caches.get(host.name)
+        if cache is None:
+            cache = GlsLookupCache(self.world.sim, upstream,
+                                   **self._cache_options)
+            cache.bind_metrics(self.world.metrics,
+                               prefix="gls_cache.%s" % host.name)
+            self.lookup_caches[host.name] = cache
+        return cache
+
     def _runtime(self, host: Host, gdn_host: bool,
                  binding_ttl: Optional[float] = None) -> Runtime:
         wrapper = (self._gdn_client_wrapper(host) if gdn_host
                    else self._anonymous_wrapper())
-        return Runtime(self.world, host,
-                       self._gls_client(host, authenticated=gdn_host),
+        client = self._gls_client(host, authenticated=gdn_host)
+        return Runtime(self.world, host, client,
                        self.repository, channel_wrapper=wrapper,
-                       binding_ttl=binding_ttl)
+                       binding_ttl=binding_ttl,
+                       lookup_cache=self._lookup_cache(host, client))
 
     def _name_service(self, host: Host) -> GlobeNameService:
         resolver = CachingResolver(self.world, host, self.root_hints)
@@ -266,9 +304,10 @@ class GdnDeployment:
                                      costs=self.tls_costs)
             wrapper = self._gdn_client_wrapper(host)
             authorizer = self.policy.gos_authorizer
+        client = self._gls_client(host, authenticated=True)
         gos = GlobeObjectServer(
             self.world, host, self.repository,
-            self._gls_client(host, authenticated=True), port=port,
+            self._lookup_cache(host, client) or client, port=port,
             channel_factory=factory, channel_wrapper=wrapper,
             authorizer=authorizer, disk=self.disk,
             checkpoint_on_write=True)
@@ -312,8 +351,7 @@ class GdnDeployment:
                          concurrency=concurrency,
                          service_time=service_time)
         httpd.start()
-        self.world.metrics.counter("httpd.%s.requests_served" % name,
-                                   fn=lambda: httpd.requests_served)
+        httpd.bind_metrics(self.world.metrics, prefix="httpd.%s" % name)
         self.httpds.append(httpd)
         return httpd
 

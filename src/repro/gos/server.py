@@ -112,6 +112,11 @@ class GlobeObjectServer:
         registry.counter(base + ".requests_served",
                          fn=lambda: self.requests_served)
         registry.gauge(base + ".replicas", fn=lambda: len(self.replicas))
+        binder = getattr(self.location_service, "bind_metrics", None)
+        if binder is not None:
+            # The location service may be a GLS-lookup cache wrapper;
+            # no-op if the shared per-host cache is already bound.
+            binder(registry, base + ".gls_cache")
 
     # -- lifecycle ------------------------------------------------------------
 

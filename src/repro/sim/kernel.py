@@ -547,6 +547,42 @@ class Store:
                 return
         self._items.append(item)
 
+    def put_inline(self, item: Any) -> None:
+        """Hand ``item`` to a parked getter with **no kernel event**.
+
+        Same FIFO semantics as :meth:`put`, but when a getter is
+        parked its callbacks run immediately inside the caller's frame
+        instead of through a run-queue event.  This is the pooled
+        per-datagram hand-off for paths where the producer is *already*
+        a kernel callback (a network-arrival timer delivering into a
+        socket inbox): the old ``put`` path charged one extra run-queue
+        event per datagram only to resume the waiter at the very next
+        scheduler step; firing it during the arrival callback keeps the
+        observable resume instant (and the waiter's own downstream
+        sends, and therefore every send-time RNG draw) at the same
+        simulated time while dropping the event entirely.
+
+        Only for producers that tolerate the consumer's continuation
+        running re-entrantly under them — the transport delivery
+        closures do; general producer processes should keep ``put``.
+        A get against the backlog, and a ``put_inline`` with no parked
+        getter, behave exactly like :meth:`put`/:meth:`get`.
+        """
+        getters = self._getters
+        while getters:
+            getter = getters.popleft()
+            if getter._value is _PENDING:
+                # The kernel's processing body, minus the enqueue (and
+                # minus the event count: nothing was scheduled).
+                getter._ok = True
+                getter._value = item
+                callbacks = getter.callbacks
+                getter.callbacks = None
+                for callback in callbacks:
+                    callback(getter)
+                return
+        self._items.append(item)
+
     def get(self) -> Event:
         event = Event(self.sim)
         if self._items:

@@ -260,9 +260,12 @@ class UdpSocket:
         wire += HEADER_OVERHEAD
 
         def deliver(_event) -> None:
+            # Inline hand-off: the arrival timer's callback resumes a
+            # parked recv() directly (Store.put_inline) — no run-queue
+            # event per datagram.
             target = dst._udp_ports.get(dst_port)
             if target is not None and not target.closed and dst.up:
-                target._inbox.put(
+                target._inbox.put_inline(
                     Datagram(self.host, self.port, payload, wire))
 
         self.host.network.deliver(self.host.site, dst.site, dst.name,
@@ -295,7 +298,8 @@ class UdpSocket:
             def deliver(_event, payload=payload, wire=wire) -> None:
                 target = inbox_ok.get(dst_port)
                 if target is not None and not target.closed and dst.up:
-                    target._inbox.put(Datagram(host, port, payload, wire))
+                    target._inbox.put_inline(
+                        Datagram(host, port, payload, wire))
 
             messages.append((wire, deliver))
         return host.network.deliver_burst(host.site, dst.site, dst.name,

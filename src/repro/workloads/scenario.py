@@ -750,6 +750,56 @@ class Soak:
         """
         self.invariants.append((name, check, phase))
 
+    def serve_stale_invariant(self, caches: Sequence = (),
+                              max_error_rate: float = 0.05,
+                              require_stale_hits: bool = True,
+                              phase: str = "during-fault",
+                              name: str = "serve-stale-availability"
+                              ) -> None:
+        """The flash-crowd availability invariant (GLS partition).
+
+        Window-scoped on the fault phase: requests issued while the
+        location service is partitioned must still mostly succeed —
+        the failed fraction stays at or below ``max_error_rate`` —
+        and, when ``require_stale_hits`` is set and metrics-bound
+        :class:`~repro.gdn.cache.GlsLookupCache` instances are given,
+        at least one of them must have answered from a stale entry
+        inside the window (proof the availability came from
+        serve-stale, not from bindings that never expired).
+
+        With serve-stale off the same soak fails this invariant:
+        every expired binding turns into upstream GLS timeouts and
+        503s for the duration of the partition.
+        """
+        caches = list(caches)
+
+        def check(window):
+            row = self.stats.phase_summary(window)
+            issued = row["issued"]
+            if not issued:
+                raise AssertionError("no requests issued during %r"
+                                     % phase)
+            rate = row["failed"] / issued
+            if rate > max_error_rate:
+                raise AssertionError(
+                    "error rate %.1f%% during %r exceeds %.1f%% "
+                    "(failed %d of %d)"
+                    % (rate * 100, phase, max_error_rate * 100,
+                       row["failed"], issued))
+            if require_stale_hits:
+                bound = [cache for cache in caches
+                         if getattr(cache, "metrics_prefix", None)]
+                stale = sum(
+                    window.delta(cache.metrics_prefix + ".stale_served")
+                    for cache in bound)
+                if not stale:
+                    raise AssertionError(
+                        "no stale entries served during %r (%d "
+                        "cache(s) inspected)" % (phase, len(bound)))
+            return True
+
+        self.invariant(name, check, phase=phase)
+
     # -- the run ---------------------------------------------------------
 
     def _phase_marks(self) -> List[Tuple[float, str]]:
