@@ -33,10 +33,14 @@ from check_trajectory import RATE_METRICS
 #: wall-clock-per-simulated-user ratio does the same for the
 #: population-scaling bench, and the upstream-GLS-lookups-per-request
 #: ratio tracks how hard the serving tier leans on the directory
-#: tree.  Unlike the rates, lower is better.
+#: tree.  The chunked-transfer record contributes its faulted arm's
+#: retry and re-fetch waste (``chunk_retries_per_transfer``,
+#: ``bytes_refetched_ratio``).  Unlike the rates, lower is better.
 RATIO_METRICS = ("timers_per_request", "events_per_request",
                  "wall_clock_us_per_user",
-                 "upstream_lookups_per_request")
+                 "upstream_lookups_per_request",
+                 "chunk_retries_per_transfer",
+                 "bytes_refetched_ratio")
 
 #: Quality ratios where *higher* is better (the cache's hit rate on
 #: the flash-crowd record); printed alongside but annotated the other

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Generator, List, Optional
 
+from ...sim.rpc import RpcFault, RpcTimeout
+from ...sim.transport import TransportError
 from ..idl import Mode
 from ..ids import ContactAddress
 from .base import (ReplicationError, ReplicationSubobject,
@@ -26,11 +28,21 @@ __all__ = ["MasterSlaveClient", "MasterSlaveMaster", "MasterSlaveSlave"]
 
 PROTOCOL = "master_slave"
 
+#: Failures that say "this replica is unreachable", not "this
+#: invocation is wrong" — safe to answer with a different replica.
+_TRANSIENT = (RpcTimeout, RpcFault, TransportError)
+
 
 class MasterSlaveClient(ReplicationSubobject):
     """Client proxy: reads to the bound (nearest) replica, writes to
     the master (directly when its address is known, otherwise via the
-    bound replica, which forwards)."""
+    bound replica, which forwards).
+
+    Reads are idempotent, so when the bound replica is unreachable the
+    proxy fails over along the remaining (nearest-first) contact
+    addresses and re-pins to whichever replica answers.  Writes never
+    fail over: the master is the only authoritative copy.
+    """
 
     protocol = PROTOCOL
     role = "client"
@@ -39,20 +51,41 @@ class MasterSlaveClient(ReplicationSubobject):
         super().__init__()
         if not addresses:
             raise ReplicationError("no contact addresses to bind to")
+        self.addresses = list(addresses)
         self.bound = addresses[0]
         self.master: Optional[ContactAddress] = self.find_role(
             addresses, "master")
+        self.read_failovers = 0
 
     def invoke(self, payload: bytes, mode: Mode
                ) -> Generator[Any, Any, bytes]:
         if mode == Mode.READ:
             self.reads_remote += 1
-            result = yield from self._invoke_remote(self.bound, payload, mode)
+            result = yield from self._read_with_failover(payload)
         else:
             self.writes_forwarded += 1
             target = self.master or self.bound
             result = yield from self._invoke_remote(target, payload, mode)
         return result
+
+    def _read_with_failover(self, payload: bytes
+                            ) -> Generator[Any, Any, bytes]:
+        candidates = [self.bound] + [address for address in self.addresses
+                                     if address.key() != self.bound.key()]
+        last_error: Optional[Exception] = None
+        for fallback, address in enumerate(candidates):
+            try:
+                result = yield from self._invoke_remote(
+                    address, payload, Mode.READ)
+            except _TRANSIENT as error:
+                last_error = error
+                continue
+            if fallback:
+                self.read_failovers += 1
+                self.bound = address
+            return result
+        assert last_error is not None
+        raise last_error
 
     def handle_message(self, message: dict, ctx
                        ) -> Generator[Any, Any, dict]:

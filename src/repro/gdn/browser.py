@@ -73,19 +73,27 @@ class Browser:
         self._channel = channel
         return channel
 
-    def get(self, path: str) -> Generator[object, object, HttpResponse]:
-        """``response = yield from browser.get("/gdn/apps/Gimp")``"""
+    def get(self, path: str, timeout: Optional[float] = None
+            ) -> Generator[object, object, HttpResponse]:
+        """``response = yield from browser.get("/gdn/apps/Gimp")``
+
+        ``timeout`` guards the request (:class:`~repro.sim.rpc.RpcTimeout`
+        on expiry) — chunked transfers use it to bound each chunk fetch
+        so a crashed access point can't hang the download.
+        """
         start = self.world.now
         channel = yield from self._open_channel()
         try:
             reply = yield from channel.call("http", {"method": "GET",
-                                                     "path": path})
+                                                     "path": path},
+                                            timeout=timeout)
         except ConnectionClosed:
             # Reconnect once: the access point may have restarted.
             self._channel = None
             channel = yield from self._open_channel()
             reply = yield from channel.call("http", {"method": "GET",
-                                                     "path": path})
+                                                     "path": path},
+                                            timeout=timeout)
         self.requests_made += 1
         body = reply.get("body", b"")
         self.bytes_received += (len(body)

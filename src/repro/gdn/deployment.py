@@ -56,13 +56,20 @@ class GdnDeployment:
                  link_params: Optional[LinkParameters] = None,
                  tls_costs: Optional[CostModel] = None,
                  package_code_size: int = 80_000,
-                 gls_cache: Union[bool, Dict, None] = None):
+                 gls_cache: Union[bool, Dict, None] = None,
+                 retry_policy=None):
         """``gls_cache`` turns on the flash-crowd GLS-lookup cache for
         every GDN host (``True`` = defaults, a dict = keyword options
         for :class:`~repro.gdn.cache.GlsLookupCache`, e.g.
         ``{"ttl": 30.0, "serve_stale": True}``).  ``None`` (the
         default) keeps the direct-lookup path byte-identical to the
-        uncached reference deployment."""
+        uncached reference deployment.
+
+        ``retry_policy`` (a :class:`~repro.sim.retry.RetryPolicy`)
+        governs every GLS client stub created by this deployment —
+        e.g. ``ExponentialBackoff(...)`` desynchronizes lookup retries
+        during partitions.  ``None`` keeps the fixed legacy discipline
+        byte-identical."""
         self.world = World(topology=topology or Topology.balanced(2, 2, 2, 2),
                            params=link_params, seed=seed)
         self.secure = secure
@@ -88,6 +95,7 @@ class GdnDeployment:
                 "public-trust", self.ca, pki_rng)
             self.gls_key = b"gdn-gls-shared-key"
         self.tsig_key = TsigKey("gdn-key", b"gdn-zone-update-secret")
+        self.retry_policy = retry_policy
 
         # -- naming + location infrastructure -------------------------------
         self._build_dns()
@@ -254,7 +262,8 @@ class GdnDeployment:
 
     def _gls_client(self, host: Host, authenticated: bool) -> GlsClient:
         return GlsClient(self.world, host, self.gls,
-                         auth_key=self.gls_key if authenticated else None)
+                         auth_key=self.gls_key if authenticated else None,
+                         retry_policy=self.retry_policy)
 
     def _lookup_cache(self, host: Host,
                       upstream: GlsClient) -> Optional[GlsLookupCache]:
@@ -441,6 +450,23 @@ class GdnDeployment:
                           channel_wrapper=self._anonymous_wrapper())
         self.browsers[name] = browser
         return browser
+
+    def chunked_downloader(self, policy=None, budget=None,
+                           resume: bool = True,
+                           chunk_size: Optional[int] = None,
+                           metrics_prefix: Optional[str] = "transfer"):
+        """A :class:`~repro.gdn.transfer.ChunkedDownloader` for this
+        deployment's browsers, instruments bound in the world registry
+        under ``metrics_prefix`` (None skips binding — e.g. for a
+        second, differently-configured downloader in one world)."""
+        from .transfer import ChunkedDownloader
+
+        downloader = ChunkedDownloader(self.world, policy=policy,
+                                       budget=budget, resume=resume,
+                                       chunk_size=chunk_size)
+        if metrics_prefix is not None:
+            downloader.bind_metrics(self.world.metrics, metrics_prefix)
+        return downloader
 
     def browser_pool(self, prefix: str) -> "BrowserPool":
         """One long-lived browser per site, created on first use.

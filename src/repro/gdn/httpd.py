@@ -33,6 +33,7 @@ from ..core.runtime import BindError, Runtime
 from ..core.subobjects import RemoteInvocationError
 from ..gns.gns import GnsError
 from ..sim.rpc import RpcContext, RpcFault, RpcServer, RpcTimeout
+from ..sim.serde import encoded_size
 from ..sim.transport import Host, TransportError
 from ..sim.world import World
 
@@ -40,7 +41,8 @@ from ..sim.world import World
 #: — worth one rebind-and-retry before giving up.
 _REBINDABLE = (ReplicationError, RpcFault, RpcTimeout, TransportError)
 
-__all__ = ["GdnHttpd", "HTTP_PORT", "parse_gdn_url", "render_listing"]
+__all__ = ["GdnHttpd", "HTTP_PORT", "parse_gdn_url",
+           "parse_transfer_url", "render_listing"]
 
 HTTP_PORT = 8080
 
@@ -61,6 +63,52 @@ def parse_gdn_url(path: str) -> Tuple[str, Optional[str]]:
         object_name, _sep, file_path = rest.partition("/files/")
         return object_name, file_path
     return rest.rstrip("/"), None
+
+
+def parse_transfer_url(path: str) -> Optional[tuple]:
+    """Parse a chunked-transfer URL; None if ``path`` is not one.
+
+    Transfer URL scheme (rides alongside ``/files/``)::
+
+        /gdn<object-name>/manifest/<path>[?chunk_size=N]
+        /gdn<object-name>/chunk/<index>/<path>[?chunk_size=N]
+
+    Returns ``("manifest", object_name, file_path, None, chunk_size)``
+    or ``("chunk", object_name, file_path, index, chunk_size)``, with
+    ``chunk_size`` None when the query string leaves it defaulted.
+
+    >>> parse_transfer_url("/gdn/apps/Gimp/manifest/bin/gimp")
+    ('manifest', '/apps/Gimp', 'bin/gimp', None, None)
+    >>> parse_transfer_url("/gdn/apps/Gimp/chunk/3/bin/gimp?chunk_size=512")
+    ('chunk', '/apps/Gimp', 'bin/gimp', 3, 512)
+    """
+    if not path.startswith("/gdn/"):
+        return None
+    parsed = urllib.parse.urlparse(path)
+    rest = parsed.path[len("/gdn"):]
+    chunk_size = None
+    query = urllib.parse.parse_qs(parsed.query)
+    if "chunk_size" in query:
+        try:
+            chunk_size = int(query["chunk_size"][0])
+        except ValueError:
+            raise ValueError("bad chunk_size in %r" % path) from None
+    if "/manifest/" in rest:
+        object_name, _sep, file_path = rest.partition("/manifest/")
+        if not file_path:
+            raise ValueError("transfer URL names no file: %r" % path)
+        return ("manifest", object_name, file_path, None, chunk_size)
+    if "/chunk/" in rest:
+        object_name, _sep, tail = rest.partition("/chunk/")
+        index_text, _sep, file_path = tail.partition("/")
+        if not file_path:
+            raise ValueError("transfer URL names no file: %r" % path)
+        try:
+            index = int(index_text)
+        except ValueError:
+            raise ValueError("bad chunk index in %r" % path) from None
+        return ("chunk", object_name, file_path, index, chunk_size)
+    return None
 
 
 def render_listing(object_name: str, entries: list) -> str:
@@ -157,6 +205,14 @@ class GdnHttpd:
             reply = yield from self._handle_search(path)
             return reply
         try:
+            transfer = parse_transfer_url(path)
+        except ValueError:
+            self.errors += 1
+            return _response(404, "bad transfer URL: %s" % path)
+        if transfer is not None:
+            reply = yield from self._handle_transfer(*transfer)
+            return reply
+        try:
             object_name, file_path = parse_gdn_url(path)
         except ValueError:
             self.errors += 1
@@ -189,6 +245,49 @@ class GdnHttpd:
             body = render_listing(object_name, value)
             self.bytes_served += len(body)
             return _response(200, body, content_type="text/html")
+        self.bytes_served += len(value)
+        return _response(200, value,
+                         content_type="application/octet-stream")
+
+    def _handle_transfer(self, kind: str, object_name: str, file_path: str,
+                         index: Optional[int],
+                         chunk_size: Optional[int]) -> Generator:
+        """Serve a chunked-transfer request (manifest or one chunk).
+
+        Same binding/rebind discipline as whole-file GETs, so a chunk
+        fetch transparently fails over to another replica — the
+        property resumable downloads lean on mid-crash.
+        """
+        try:
+            oid_hex = yield from self.name_service.resolve(object_name)
+        except GnsError:
+            self.errors += 1
+            return _response(404, "unknown package %s" % object_name)
+        oid = ObjectId.from_hex(oid_hex)
+        ttl = self.cache_policy(object_name)
+        if kind == "manifest":
+            method, args = "getFileManifest", {"path": file_path}
+        else:
+            method, args = "getFileChunk", {"path": file_path,
+                                            "index": index}
+        if chunk_size is not None:
+            args["chunk_size"] = chunk_size
+        try:
+            value = yield from self._invoke_with_rebind(oid, ttl, method,
+                                                        args)
+        except BindError:
+            self.errors += 1
+            return _response(503, "package currently unreachable")
+        except _REBINDABLE:
+            self.errors += 1
+            return _response(503, "package replicas unreachable")
+        except RemoteInvocationError:
+            self.errors += 1
+            return _response(404, "no such file or chunk: %s in %s"
+                             % (file_path, object_name))
+        if kind == "manifest":
+            self.bytes_served += encoded_size(value)
+            return _response(200, value, content_type="application/json")
         self.bytes_served += len(value)
         return _response(200, value,
                          content_type="application/octet-stream")

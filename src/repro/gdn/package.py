@@ -22,10 +22,14 @@ from typing import Dict, List, Optional, Tuple
 from ..core.idl import mutating, read_only
 from ..core.subobjects import SemanticsSubobject
 
-__all__ = ["PackageSemantics", "PACKAGE_IMPL_ID", "HISTORY_RETENTION"]
+__all__ = ["PackageSemantics", "PACKAGE_IMPL_ID", "HISTORY_RETENTION",
+           "DEFAULT_CHUNK_SIZE"]
 
 #: Implementation-repository id for the package DSO implementation.
 PACKAGE_IMPL_ID = "gdn.package"
+
+#: Default chunk granularity for manifest/chunk retrieval (bytes).
+DEFAULT_CHUNK_SIZE = 8192
 
 #: How many superseded file contents are retained for restoreFile
 #: (§8's version-management facility, bounded so state stays small).
@@ -131,6 +135,45 @@ class PackageSemantics(SemanticsSubobject):
     def getFileDigest(self, path: str) -> str:
         """SHA-256 of a file — lets users check download integrity."""
         return hashlib.sha256(self.getFileContents(path)).hexdigest()
+
+    @read_only
+    def getFileManifest(self, path: str,
+                        chunk_size: int = DEFAULT_CHUNK_SIZE) -> dict:
+        """Chunk map for a resumable download of one file.
+
+        Per-chunk digests let the client verify each chunk as it
+        arrives (and skip re-fetching verified chunks on resume); the
+        whole-file digest and content version let it detect a file
+        that changed under an in-progress transfer.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        data = self.getFileContents(path)
+        chunks = [data[offset:offset + chunk_size]
+                  for offset in range(0, len(data), chunk_size)] or [b""]
+        return {
+            "path": path,
+            "size": len(data),
+            "chunk_size": chunk_size,
+            "chunk_count": len(chunks),
+            "chunk_digests": [hashlib.sha256(chunk).hexdigest()
+                              for chunk in chunks],
+            "digest": hashlib.sha256(data).hexdigest(),
+            "version": self._content_version,
+        }
+
+    @read_only
+    def getFileChunk(self, path: str, index: int,
+                     chunk_size: int = DEFAULT_CHUNK_SIZE) -> bytes:
+        """One chunk of a file, by manifest index."""
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        data = self.getFileContents(path)
+        count = max(1, -(-len(data) // chunk_size))
+        if not 0 <= index < count:
+            raise IndexError("chunk %d out of range (file has %d chunks)"
+                             % (index, count))
+        return data[index * chunk_size:(index + 1) * chunk_size]
 
     @read_only
     def getAttribute(self, key: str) -> Optional[str]:

@@ -33,14 +33,20 @@ class GlsClient:
 
     def __init__(self, world: World, host: Host, tree: GlsTree,
                  auth_key: Optional[bytes] = None,
-                 timeout: float = 8.0, retries: int = 2):
+                 timeout: float = 8.0, retries: int = 2,
+                 retry_policy=None):
+        """``retry_policy`` (a :class:`~repro.sim.retry.RetryPolicy`)
+        replaces the fixed ``timeout``/``retries`` discipline of the
+        stub's UDP client — e.g. jittered exponential backoff so a
+        partition heal is not met by a synchronized retry wave."""
         self.world = world
         self.host = host
         self.tree = tree
         self.auth_key = auth_key
         self.transport = tree.transport
         self.leaf: NodeHandle = tree.leaf_handle(host.site)
-        self._client = UdpRpcClient(host, timeout=timeout, retries=retries)
+        self._client = UdpRpcClient(host, timeout=timeout, retries=retries,
+                                    policy=retry_policy)
         self._rng = world.rng_for("gls-client-%s" % host.name)
         self.lookups = 0
         self.registrations = 0

@@ -86,3 +86,31 @@ class FailureInjector:
             raise ValueError("probability must be in [0, 1]")
         self.world.network.params.loss[level] = probability
         self._note("loss=%g" % probability, level.name)
+
+    def loss_window(self, level: Level, probability: float,
+                    start: float, end: float) -> None:
+        """Make ``level`` crossings lossy for ``[start, end)`` only.
+
+        Unlike :meth:`set_loss`, the prior loss rate is captured when
+        the window opens and restored when it closes, so soaks can
+        script *transient* link degradation — a flaky transit window a
+        chunked transfer must ride out — without permanently altering
+        the topology's link parameters.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError("probability must be in [0, 1]")
+        if end <= start:
+            raise ValueError("window end must come after start")
+
+        def fire() -> Generator:
+            delay = start - self.world.now
+            if delay > 0:
+                yield self.world.sim.timeout(delay)
+            loss = self.world.network.params.loss
+            prior = loss[level]
+            loss[level] = probability
+            self._note("loss=%g" % probability, level.name)
+            yield self.world.sim.timeout(end - self.world.now)
+            loss[level] = prior
+            self._note("loss=%g" % prior, level.name)
+        self.world.sim.process(fire())

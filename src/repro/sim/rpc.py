@@ -58,6 +58,7 @@ from typing import Any, Callable, Dict, Generator, Optional
 
 from .deadlines import FifoDeadlinePool, shared_pool
 from .kernel import Event, Simulator
+from .retry import FixedRetry, RetryPolicy, jitter_rng
 from .serde import CONTAINER_ITEM_OVERHEAD, SCALAR_SIZE, encoded_size
 from .transport import (Connection, ConnectionClosed, Host, TransportError,
                         UdpSocket)
@@ -342,11 +343,13 @@ class RpcChannel:
         self.calls = 0
         self.timeouts = 0
         self.faults = 0
+        self.retries_sent = 0
         self._pending: Dict[int, Event] = {}
         self._size_cache: Dict[str, int] = {}  # method -> envelope base
         # Guarded calls register their mixed per-call timeouts with the
         # simulator-wide pool: one armed kernel timer for all of them.
         self._deadlines = shared_pool(host.sim)
+        self._jitter_rng = None  # lazily seeded, policy-guarded calls only
         self._dispatcher = host.spawn(self._dispatch_loop())
 
     def bind_metrics(self, registry, prefix: str) -> None:
@@ -356,6 +359,8 @@ class RpcChannel:
         registry.counter(prefix + ".calls", fn=lambda: self.calls)
         registry.counter(prefix + ".timeouts", fn=lambda: self.timeouts)
         registry.counter(prefix + ".faults", fn=lambda: self.faults)
+        registry.counter(prefix + ".retries",
+                         fn=lambda: self.retries_sent)
 
     @classmethod
     def open(cls, host: Host, dst: Host, port: int,
@@ -387,9 +392,21 @@ class RpcChannel:
                 waiter.fail(RpcFault(kind, message))
 
     def call(self, method: str, args: Optional[dict] = None,
-             size: Optional[int] = None, timeout: Optional[float] = None
+             size: Optional[int] = None, timeout: Optional[float] = None,
+             policy: Optional[RetryPolicy] = None
              ) -> Generator[Event, Any, Any]:
-        """``value = yield from channel.call("method", {...})``."""
+        """``value = yield from channel.call("method", {...})``.
+
+        With ``policy=`` the call is guarded per attempt by the
+        policy's timeout and re-issued on :class:`RpcTimeout` under
+        its backoff/budget discipline (an explicit ``timeout=``
+        overrides the per-attempt guard).  Without a policy the
+        single-shot behaviour is unchanged.
+        """
+        if policy is not None:
+            value = yield from self._call_with_policy(method, args, size,
+                                                      timeout, policy)
+            return value
         request_id = next(_request_ids)
         args = args if args is not None else {}
         request = {"id": request_id, "method": method,
@@ -431,6 +448,41 @@ class RpcChannel:
         finally:
             self._deadlines.cancel(guard)  # nothing stranded on reply
         return value
+
+    def _call_with_policy(self, method: str, args: Optional[dict],
+                          size: Optional[int], timeout: Optional[float],
+                          policy: RetryPolicy
+                          ) -> Generator[Event, Any, Any]:
+        """Guarded, retried call: each attempt is a fresh request id
+        under the policy's per-attempt timeout; timed-out attempts are
+        re-issued after the policy's backoff delay, budget permitting.
+        Connection loss is not retried here — the channel is dead and
+        the owner must reconnect."""
+        per_attempt = timeout if timeout is not None else policy.timeout
+        last_error: Optional[Exception] = None
+        for attempt in range(policy.attempts):
+            if attempt:
+                budget = policy.budget
+                if budget is not None and not budget.spend(self.sim.now):
+                    break
+                delay = policy.retry_delay(attempt, self._policy_jitter)
+                if delay > 0.0:
+                    yield self.sim.timeout(delay)
+                self.retries_sent += 1
+            try:
+                value = yield from self.call(method, args, size=size,
+                                             timeout=per_attempt)
+                return value
+            except RpcTimeout as exc:
+                last_error = exc
+        raise last_error
+
+    def _policy_jitter(self):
+        """Lazily-seeded jitter RNG (host-name keyed, deterministic)."""
+        rng = self._jitter_rng
+        if rng is None:
+            rng = self._jitter_rng = jitter_rng(self.host.name)
+        return rng
 
     def close(self) -> None:
         """Close the channel, failing any in-flight calls.
@@ -559,36 +611,55 @@ class UdpRpcServer:
 
 
 class UdpRpcClient:
-    """Datagram RPC client with timeout and retry.
+    """Datagram RPC client driven by a :class:`~repro.sim.retry
+    .RetryPolicy`.
+
+    ``timeout``/``retries`` build the legacy :class:`~repro.sim.retry
+    .FixedRetry` policy (fixed timeout, immediate retries — pinned
+    byte-identical against the pre-policy traces); pass ``policy=`` for
+    backoff/jitter/budget disciplines such as :class:`~repro.sim.retry
+    .ExponentialBackoff`.
 
     Every attempt is guarded by a deadline from the client's own
-    :class:`~repro.sim.deadlines.FifoDeadlinePool` — one fixed
-    ``timeout`` means deadlines expire in FIFO order, so a guarded
-    attempt costs a deque append and an O(1) cancel instead of any
-    kernel heap traffic.  ``pooled=False`` falls back to a dedicated
-    guard timer per attempt (:func:`_arm_deadline`): the reference
-    implementation determinism tests pin the pool against.
+    :class:`~repro.sim.deadlines.FifoDeadlinePool` — the policy's one
+    fixed per-attempt ``timeout`` means deadlines expire in FIFO
+    order, so a guarded attempt costs a deque append and an O(1)
+    cancel instead of any kernel heap traffic (backoff delays happen
+    *between* attempts and never change the guard spacing).
+    ``pooled=False`` falls back to a dedicated guard timer per attempt
+    (:func:`_arm_deadline`): the reference implementation determinism
+    tests pin the pool against.
     """
 
     def __init__(self, host: Host, timeout: float = 0.5, retries: int = 3,
-                 pooled: bool = True):
+                 pooled: bool = True, policy: Optional[RetryPolicy] = None):
         self.host = host
         self.sim = host.sim
-        self.timeout = timeout
-        self.retries = retries
+        if policy is None:
+            policy = FixedRetry(timeout, retries)
+        self.policy = policy
+        self.timeout = policy.timeout
+        self.retries = policy.retries
         # Plain-int accounting (calls = logical calls, not datagrams;
-        # retries = extra attempts; timeouts = calls that exhausted the
-        # retry budget; faults = remote handler errors).
+        # retries = extra attempts actually sent; timeouts = calls that
+        # exhausted the attempt cap; faults = remote handler errors;
+        # budget_denied = retries refused by the policy's RetryBudget).
         self.calls = 0
         self.retries_sent = 0
         self.timeouts_hit = 0
         self.faults = 0
-        self.deadline_pool = (FifoDeadlinePool(host.sim, timeout,
+        self.budget_denied = 0
+        #: Assign a list to record the simulation time of every retry
+        #: actually sent (storm diagnosis); ``None`` keeps the hot
+        #: path free of bookkeeping.
+        self.retry_log: Optional[list] = None
+        self.deadline_pool = (FifoDeadlinePool(host.sim, self.timeout,
                                                _expire_waiter)
                               if pooled else None)
         self._socket = host.udp_socket()
         self._pending: Dict[int, Event] = {}
         self._size_cache: Dict[str, int] = {}  # method -> envelope base
+        self._jitter_rng = None  # lazily seeded from the host name
         host.spawn(self._dispatch_loop())
 
     def bind_metrics(self, registry, prefix: str) -> None:
@@ -596,8 +667,18 @@ class UdpRpcClient:
         registry.counter(prefix + ".retries", fn=lambda: self.retries_sent)
         registry.counter(prefix + ".timeouts", fn=lambda: self.timeouts_hit)
         registry.counter(prefix + ".faults", fn=lambda: self.faults)
+        registry.counter(prefix + ".budget_denied",
+                         fn=lambda: self.budget_denied)
         if self.deadline_pool is not None:
             self.deadline_pool.bind_metrics(registry, prefix + ".deadlines")
+
+    def _jitter(self):
+        """The policy's per-client jitter RNG, created on first use so
+        jitter-free policies (FixedRetry) never pay for one."""
+        rng = self._jitter_rng
+        if rng is None:
+            rng = self._jitter_rng = self.policy.make_rng(self.host.name)
+        return rng
 
     def _ensure_open(self) -> None:
         """Re-open the socket after a host crash+restart destroyed it.
@@ -639,9 +720,11 @@ class UdpRpcClient:
              ) -> Generator[Event, Any, Any]:
         """``value = yield from client.call(node_host, 5300, "lookup", ...)``
 
-        Retries ``retries`` times on timeout, then raises
-        :class:`RpcTimeout`.  Each retry is a fresh request id, so a
-        late reply to an earlier attempt is ignored.
+        Retries up to ``policy.retries`` times on timeout — pacing the
+        retries by the policy's backoff schedule and charging its
+        budget, if any — then raises :class:`RpcTimeout`.  Each retry
+        is a fresh request id, so a late reply to an earlier attempt
+        is ignored.
         """
         self._ensure_open()
         self.calls += 1
@@ -652,10 +735,17 @@ class UdpRpcClient:
         size = (_request_base(self._size_cache, method, self.host.name)
                 + encoded_size(args))
         pool = self.deadline_pool
+        policy = self.policy
         last_error: Optional[Exception] = None
         for attempt in range(1 + self.retries):
             if attempt:
-                self.retries_sent += 1
+                budget = policy.budget
+                if budget is not None and not budget.spend(self.sim.now):
+                    self.budget_denied += 1
+                    break
+                delay = policy.retry_delay(attempt, self._jitter)
+                if delay > 0.0:
+                    yield self.sim.timeout(delay)
                 # The socket may have died *during* this call (a crash
                 # + restart while the previous attempt's deadline ran):
                 # re-check per attempt, or send_to below raises against
@@ -676,6 +766,12 @@ class UdpRpcClient:
                 # event nobody waits on.
                 self._pending.pop(request_id, None)
                 raise
+            if attempt:
+                # Counted only once the datagram is actually away: a
+                # dead socket used to be charged as a sent retry.
+                self.retries_sent += 1
+                if self.retry_log is not None:
+                    self.retry_log.append(self.sim.now)
             if pool is not None:
                 guard = pool.add(waiter)
             else:

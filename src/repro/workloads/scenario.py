@@ -728,6 +728,13 @@ class Soak:
         self.injector.partition_domain(domain, start, duration)
         self._fault_spans.append((start, start + duration))
 
+    def loss_window(self, level, probability: float, start: float,
+                    end: float) -> None:
+        """Transient datagram loss across ``level`` boundaries; the
+        prior loss rate is restored when the window closes."""
+        self.injector.loss_window(level, probability, start, end)
+        self._fault_spans.append((start, end))
+
     def mark_phase(self, when: float, label: str) -> None:
         """Open a custom phase window at absolute time ``when``."""
         self._extra_marks.append((when, label))
@@ -799,6 +806,61 @@ class Soak:
             return True
 
         self.invariant(name, check, phase=phase)
+
+    def chunked_transfer_invariant(self, downloader,
+                                   refetch_bound: float = 1.0,
+                                   min_completed: Optional[int] = None
+                                   ) -> None:
+        """The resilient-transfer invariants (crash/partition soaks).
+
+        Registers three named checks against a
+        :class:`~repro.gdn.transfer.ChunkedDownloader`:
+
+        * ``transfer-completes`` — every started transfer finished
+          (or at least ``min_completed`` did, when given): the fault
+          did not turn downloads into permanent failures;
+        * ``no-duplicate-chunk-application`` — no chunk was applied
+          to a reassembly twice, across crash/resume boundaries;
+        * ``refetch-bounded`` — bytes re-fetched stayed at or below
+          ``refetch_bound`` × bytes applied: resumption actually
+          saved the work already done.
+
+        A no-resume downloader under the same fault schedule fails
+        these — restart-from-zero re-fetches every verified chunk
+        until the retry budget runs dry.
+        """
+        def completes():
+            wanted = (downloader.transfers_started
+                      if min_completed is None else min_completed)
+            done = downloader.transfers_completed
+            if done < wanted:
+                raise AssertionError(
+                    "%d of %d transfers completed (%d failed, budget "
+                    "exhausted %d time(s))"
+                    % (done, wanted, downloader.transfers_failed,
+                       downloader.budget_exhausted))
+            return True
+
+        def no_duplicates():
+            if downloader.duplicate_applications:
+                raise AssertionError(
+                    "%d duplicate chunk application(s)"
+                    % downloader.duplicate_applications)
+            return True
+
+        def refetch_bounded():
+            ratio = downloader.refetch_ratio()
+            if ratio > refetch_bound:
+                raise AssertionError(
+                    "re-fetched %.2fx the applied bytes (bound %.2fx: "
+                    "%d refetched vs %d applied)"
+                    % (ratio, refetch_bound, downloader.bytes_refetched,
+                       downloader.bytes_applied))
+            return True
+
+        self.invariant("transfer-completes", completes)
+        self.invariant("no-duplicate-chunk-application", no_duplicates)
+        self.invariant("refetch-bounded", refetch_bounded)
 
     # -- the run ---------------------------------------------------------
 

@@ -167,6 +167,34 @@ def test_slave_forwards_writes_when_master_unknown(bed):
     assert slave_lr.replication.writes_forwarded >= 1
 
 
+def test_reads_fail_over_to_surviving_replica(bed):
+    # The bound (nearest) replica dies mid-session; reads are
+    # idempotent, so the client proxy re-pins to the next contact
+    # address instead of surfacing a transport error.
+    _mg, slave_gos, master_lr, slave_lr = _master_slave_pair(bed)
+    bed.gls.sort_site = bed.world.topology.site("r1/c0/m0/s1")
+    runtime = bed.runtime("client-1", "r1/c0/m0/s1")
+
+    def seed():
+        lr = yield from runtime.bind(master_lr.oid)
+        yield from lr.invoke("put", {"key": "k", "value": "v"})
+        return lr
+
+    lr = bed.run(seed(), host=runtime.host)
+    assert lr.replication.bound.role == "slave"
+    bed.world.run(until=bed.world.now + 10)  # let the async push land
+    slave_gos.host.crash()
+
+    def read():
+        value = yield from lr.invoke("get", {"key": "k"})
+        return value, lr.replication.bound.role
+
+    value, bound_role = bed.run(read(), host=runtime.host)
+    assert value == "v"
+    assert bound_role == "master"
+    assert lr.replication.read_failovers == 1
+
+
 def test_sync_push_makes_slaves_consistent_before_return(bed):
     master_gos = bed.gos("gos-master", "r0/c0/m0/s0")
     slave_gos = bed.gos("gos-slave", "r1/c0/m0/s0")

@@ -11,13 +11,22 @@ Two guarantees around the GLS-lookup cache:
 * **Cache on only removes upstream lookups.**  With the cache enabled
   the same replay serves the same requests (identical ok/failed
   split) while the directory tree sees strictly less traffic.
+* **Backoff desynchronizes retries.**  Replaying through a lossy
+  window (ISSUE 9), the jittered :class:`ExponentialBackoff` GLS
+  retry policy serves no fewer requests than the legacy fixed-beat
+  discipline while producing strictly fewer same-instant (10 ms
+  bucket) retry collisions across the HTTPDs' GLS clients.
 """
 
 from __future__ import annotations
 
+import math
+from collections import Counter
+
 from repro.gdn.deployment import GdnDeployment
 from repro.gdn.scenario import ReplicationScenario
-from repro.sim.topology import Topology
+from repro.sim.retry import ExponentialBackoff, FixedRetry
+from repro.sim.topology import Level, Topology
 from repro.workloads.loadgen import LoadStats
 from repro.workloads.packages import synthetic_file
 from repro.workloads.scenario import TraceScenario, bundled_trace
@@ -28,13 +37,18 @@ OBJECTS = 6
 _FILE = "payload.bin"
 
 
-def _replay(gls_cache):
+def _replay(gls_cache, retry_policy=None, loss=None):
     """Replay the bundled flash-crowd trace; return the run
-    fingerprint plus the deployment for cache inspection."""
+    fingerprint, the deployment (for cache inspection), and the
+    merged GLS retry-send timestamps of the HTTPDs' UDP clients.
+
+    ``retry_policy`` is handed to the deployment (None = the legacy
+    fixed discipline); ``loss=(probability, start, end)`` opens a
+    datagram-loss window at those offsets into the replay."""
     topology = Topology.balanced(regions=2, countries=2, cities=1,
                                  sites=2)
     gdn = GdnDeployment(topology=topology, seed=19, secure=False,
-                        gls_cache=gls_cache)
+                        gls_cache=gls_cache, retry_policy=retry_policy)
     gdn.add_gos("gos-0", "r0/c0/m0/s0")
     gdn.add_gos("gos-1", "r1/c0/m0/s0")
     # Bindings go stale every second, so the replay keeps exercising
@@ -55,6 +69,26 @@ def _replay(gls_cache):
     gdn.run(publish(), host=moderator.host)
     gdn.settle(5.0)
     browser_for = gdn.browser_pool("replay")
+
+    # Instrument every access point's GLS stub: retry send times land
+    # in these logs (plain list appends — no simulation events, so the
+    # byte-identical pins are unaffected).
+    retry_logs = []
+    for httpd in gdn.httpds:
+        client = httpd.runtime.location_service._client
+        client.retry_log = []
+        retry_logs.append(client.retry_log)
+    if loss is not None:
+        probability, start, end = loss
+        base = gdn.world.now
+        from repro.sim.failures import FailureInjector
+        injector = FailureInjector(gdn.world)
+        # Same-site datagrams only: GLS stub -> leaf directory node
+        # traffic dies, while browser HTTP (reliable) and cross-site
+        # DNS keep working — the outage isolates the retry path under
+        # test.
+        injector.loss_window(Level.SITE, probability, base + start,
+                             base + end)
 
     def one_request(arrival):
         name = names[arrival.rank]
@@ -78,13 +112,21 @@ def _replay(gls_cache):
     browser_for.close()
     fingerprint = (stats.summary(), stats.latency.state(),
                    gdn.world.sim.events_processed)
-    return fingerprint, gdn
+    retries = sorted(t for log in retry_logs for t in log)
+    return fingerprint, gdn, retries
+
+
+def _collisions(times, bucket=0.010):
+    """Retry sends sharing a 10 ms bucket with an earlier one — the
+    synchronized-wave measure (0 = perfectly spread)."""
+    counts = Counter(math.floor(t / bucket) for t in times)
+    return sum(n - 1 for n in counts.values() if n > 1)
 
 
 def test_cache_disabled_replay_is_byte_identical():
-    first, gdn = _replay(None)
+    first, gdn, _retries = _replay(None)
     assert not gdn.lookup_caches
-    second, _gdn = _replay(False)
+    second, _gdn, _retries2 = _replay(False)
     assert first == second
     summary = first[0]
     assert summary["issued"] == 140
@@ -93,8 +135,8 @@ def test_cache_disabled_replay_is_byte_identical():
 
 
 def test_cache_on_serves_identically_with_fewer_lookups():
-    baseline, gdn_off = _replay(None)
-    cached, gdn_on = _replay(True)
+    baseline, gdn_off, _r0 = _replay(None)
+    cached, gdn_on, _r1 = _replay(True)
     assert cached[0]["issued"] == baseline[0]["issued"] == 140
     assert cached[0]["ok"] == baseline[0]["ok"]
     assert cached[0]["failed"] == baseline[0]["failed"]
@@ -103,3 +145,36 @@ def test_cache_on_serves_identically_with_fewer_lookups():
     assert gdn_on.gls.total_requests() < gdn_off.gls.total_requests()
     hits = sum(cache.hits for cache in gdn_on.lookup_caches.values())
     assert hits > 0
+
+
+#: ISSUE 9's partition window: every same-site datagram vanishes for
+#: replay seconds 4.5-9.5 — a total GLS-stub outage covering the
+#: trace's arrival burst, so the burst's lookups ride out several
+#: retry rounds before the network heals.  The outage is shorter than
+#: either policy's retry horizon, so no request is lost.
+LOSS = (1.0, 4.5, 9.5)
+
+
+def test_backoff_policy_desynchronizes_gls_retries_under_loss():
+    """Flash-crowd arrivals cluster within milliseconds; with the
+    fixed-beat legacy discipline the calls they trigger stay
+    phase-locked on *every* retry round of the outage, while jittered
+    backoff decorrelates them from the second attempt on."""
+    legacy, _gdn0, legacy_retries = _replay(
+        None, retry_policy=FixedRetry(timeout=1.0, retries=8),
+        loss=LOSS)
+    jittered, _gdn1, jittered_retries = _replay(
+        None, retry_policy=ExponentialBackoff(timeout=1.0, retries=8,
+                                              base=0.25, multiplier=2.0,
+                                              max_delay=2.0, jitter=0.5),
+        loss=LOSS)
+    # The outage really forced GLS retries in both arms.
+    assert legacy_retries and jittered_retries
+    # No LoadStats regression: the new policy serves no fewer requests.
+    assert jittered[0]["issued"] == legacy[0]["issued"] == 140
+    assert jittered[0]["ok"] >= legacy[0]["ok"]
+    # Backing off also retransmits less overall ...
+    assert len(jittered_retries) < len(legacy_retries)
+    # ... and, the point of the jitter: strictly fewer synchronized
+    # same-instant retry sends during the outage.
+    assert _collisions(jittered_retries) < _collisions(legacy_retries)
